@@ -1,0 +1,67 @@
+"""Extension: TCP throughput vs window size and MSS.
+
+The paper fixes the window at 8 KB "to ensure experiment repeatability"
+and notes in passing that "larger window size increases the throughput"
+and that "a larger MSS (up to the size of the maximum buffer size of
+the underlying network) is often better".  This bench sweeps both knobs
+to verify those remarks hold in the model — and that the ASH fast
+path's advantage persists across the sweep.
+"""
+
+from repro.bench.harness import reproduce
+from repro.bench.results import BenchTable, ascii_chart
+from repro.bench.workloads import TcpConfig, tcp_stream_throughput
+
+WINDOWS = [4096, 8192, 16384, 32768]
+MSSES = [536, 1024, 2048, 3072]
+BULK = 1024 * 1024
+
+
+def run_tcp_params() -> BenchTable:
+    table = BenchTable(
+        name="ext_tcp_params",
+        title="Extension: TCP throughput vs window and MSS",
+        columns=["library MB/s", "ASH MB/s"],
+    )
+    window_series = {"library": [], "ash": []}
+    for window in WINDOWS:
+        # 32 KB application writes so the window (not the synchronous
+        # write size) is the binding constraint
+        lib = tcp_stream_throughput(
+            config=TcpConfig(window=window), total_bytes=BULK, chunk=32768)
+        ash = tcp_stream_throughput(
+            config=TcpConfig(window=window, handler="ash"),
+            total_bytes=BULK, chunk=32768)
+        table.add_row(f"window {window}",
+                      **{"library MB/s": lib, "ASH MB/s": ash})
+        window_series["library"].append((window, lib))
+        window_series["ash"].append((window, ash))
+    for mss in MSSES:
+        lib = tcp_stream_throughput(
+            config=TcpConfig(mss=mss), total_bytes=BULK)
+        ash = tcp_stream_throughput(
+            config=TcpConfig(mss=mss, handler="ash"), total_bytes=BULK)
+        table.add_row(f"mss {mss}",
+                      **{"library MB/s": lib, "ASH MB/s": ash})
+    table.note("\n" + ascii_chart(window_series,
+                                  title="MB/s vs window (o=ash, *=library)"))
+    return table
+
+
+def test_tcp_parameter_sweep(benchmark):
+    table = reproduce(benchmark, run_tcp_params)
+    lib_by_window = [table.value(f"window {w}", "library MB/s")
+                     for w in WINDOWS]
+    # "larger window size increases the throughput"
+    assert all(b >= a * 0.98 for a, b in zip(lib_by_window, lib_by_window[1:]))
+    assert lib_by_window[-1] > 1.3 * lib_by_window[0]
+    # "a larger MSS is often better"
+    lib_by_mss = [table.value(f"mss {m}", "library MB/s") for m in MSSES]
+    assert lib_by_mss[-1] > lib_by_mss[0]
+    # the handler wins across the whole sweep
+    for w in WINDOWS:
+        assert (table.value(f"window {w}", "ASH MB/s")
+                > table.value(f"window {w}", "library MB/s"))
+    for m in MSSES:
+        assert (table.value(f"mss {m}", "ASH MB/s")
+                > table.value(f"mss {m}", "library MB/s"))

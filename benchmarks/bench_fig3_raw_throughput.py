@@ -1,0 +1,45 @@
+"""Fig. 3: user-level throughput on the AN2 vs packet size.
+
+Paper: "a graph of the bandwidth obtainable in our system by sending a
+large train of packets of different sizes from user level.  The maximum
+achievable per-link bandwidth is about 16.8 Mbytes/s.  At a 4-kbyte
+packet size, we reach 16.11 Mbytes/s."
+"""
+
+from repro.bench.harness import reproduce
+from repro.bench.results import BenchTable, ascii_chart
+from repro.bench.workloads import raw_stream_throughput
+
+SIZES = [64, 128, 256, 512, 1024, 2048, 3072, 4096]
+PAPER_AT_4K = 16.11
+LINK_MAX = 16.8
+
+
+def run_fig3() -> BenchTable:
+    table = BenchTable(
+        name="fig3_raw_throughput",
+        title="Fig 3: user-level AN2 throughput vs packet size",
+        columns=["MB/s"],
+        unit="MB/s",
+    )
+    for size in SIZES:
+        table.add_row(f"{size} B", **{"MB/s": raw_stream_throughput(size=size)})
+    table.add_paper_row("4096 B", **{"MB/s": PAPER_AT_4K})
+    table.note(f"link payload maximum: {LINK_MAX} MB/s")
+    series = {"throughput": [
+        (size, table.value(f"{size} B", "MB/s")) for size in SIZES
+    ]}
+    table.note("\n" + ascii_chart(series, title="MB/s vs packet size"))
+    return table
+
+
+def test_fig3_raw_throughput(benchmark):
+    table = reproduce(benchmark, run_fig3)
+    series = [table.value(f"{s} B", "MB/s") for s in SIZES]
+    # monotone rise toward the link limit
+    assert all(b >= a for a, b in zip(series, series[1:]))
+    assert series[-1] <= LINK_MAX
+    # at 4 KB we approach the paper's 16.11 MB/s
+    assert series[-1] >= 0.9 * PAPER_AT_4K
+    # small packets are send-path limited, far below the link rate
+    assert series[0] < 0.35 * LINK_MAX

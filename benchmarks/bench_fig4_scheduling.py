@@ -1,0 +1,71 @@
+"""Fig. 4: round-trip time vs number of processes on the receiver.
+
+Paper: "as the number of active processes under an oblivious scheduling
+policy increases, the latency for the roundtrip remote increment
+increases, because the scheduler is not integrated with the
+communication system ...  When ASHs are used, on the other hand, the
+roundtrip time for the remote increment stays much closer to constant.
+Ultrix uses a more sophisticated scheduler that raises the priority of
+a process immediately after a network interrupt ... this type of
+scheduler definitely reduces the measured effect, but it is certainly
+still a problem."
+"""
+
+from repro.bench.harness import reproduce
+from repro.bench.results import BenchTable, ascii_chart
+from repro.bench.workloads import remote_increment
+
+NPROCS = [1, 2, 4, 6, 8, 10]
+
+
+def run_fig4() -> BenchTable:
+    table = BenchTable(
+        name="fig4_scheduling",
+        title="Fig 4: remote-increment RTT vs competing processes",
+        columns=["ASH", "oblivious RR", "interrupt-boost (Ultrix-like)"],
+        unit="us per round trip",
+    )
+    for n in NPROCS:
+        ash = remote_increment(mode="ash", suspended=True, nprocs=n,
+                               scheduler="oblivious", iters=8, warmup=2)
+        oblivious = remote_increment(mode="user", suspended=True, nprocs=n,
+                                     scheduler="oblivious", iters=8, warmup=2)
+        boost = remote_increment(mode="user", suspended=True, nprocs=n,
+                                 scheduler="ultrix", iters=8, warmup=2)
+        table.add_row(
+            f"{n} procs",
+            **{
+                "ASH": ash.rt_us,
+                "oblivious RR": oblivious.rt_us,
+                "interrupt-boost (Ultrix-like)": boost.rt_us,
+            },
+        )
+    table.note("quantum = 1024 us round robin; dummies are compute-bound")
+    series = {
+        col: [(n, table.value(f"{n} procs", col)) for n in NPROCS]
+        for col in table.columns
+    }
+    table.note("\n" + ascii_chart(series, title="RTT (us, log) vs processes",
+                                   log_y=True))
+    return table
+
+
+def test_fig4_scheduling(benchmark):
+    table = reproduce(benchmark, run_fig4)
+    ash = [table.value(f"{n} procs", "ASH") for n in NPROCS]
+    rr = [table.value(f"{n} procs", "oblivious RR") for n in NPROCS]
+    boost = [
+        table.value(f"{n} procs", "interrupt-boost (Ultrix-like)")
+        for n in NPROCS
+    ]
+    # ASH latency stays ~flat (decoupled from scheduling)
+    assert max(ash) - min(ash) < 0.25 * min(ash)
+    # oblivious RR grows sharply with process count
+    assert rr[-1] > 4 * rr[0]
+    assert all(b >= a * 0.95 for a, b in zip(rr, rr[1:]))
+    # boost scheduling grows far less, but is not free
+    assert boost[-1] < 0.5 * rr[-1]
+    assert boost[-1] > boost[0]          # "certainly still a problem"
+    # the ASH beats both user-level regimes at every point
+    for a, r, b in zip(ash, rr, boost):
+        assert a < r and a < b

@@ -1,0 +1,74 @@
+"""Section V-D: sandboxing overhead on the remote write.
+
+Paper: "We measured the time for the sandboxed version of trusted ASHs
+to be 1.3-1.4 times as long as the time for the non-sandboxed for
+40-byte writes; for 4096 bytes this factor dropped to 1.01-1.02 times."
+"The dynamic instruction count (excluding data copying) for the
+application-specific version uses 38 instructions, 28 of which are
+added by the sandboxer (i.e., the hand-crafted version takes only ten
+instructions) ... even the sandboxed version of the specialized remote
+write uses fewer instructions than the generic hand-crafted one
+(68 instructions)."
+
+Our hand-crafted specific handler is exactly 10 static instructions (a
+coincidence we are happy to keep); the generic handler and sandbox
+additions are smaller than the paper's because our rewriter and
+trusted-call interface are leaner — EXPERIMENTS.md discusses.
+"""
+
+from repro.bench.harness import reproduce
+from repro.bench.micro import sandbox_overhead
+from repro.bench.results import BenchTable
+
+PAPER_RATIOS = {40: (1.3, 1.4), 4096: (1.01, 1.02)}
+
+
+def run_sec5d() -> BenchTable:
+    table = BenchTable(
+        name="sec5d_sandbox_overhead",
+        title="Sec V-D: sandboxed vs unsafe application-specific remote write",
+        columns=["unsafe cycles", "sandboxed cycles", "ratio",
+                 "unsafe insns", "sandboxed insns"],
+    )
+    points, counts = sandbox_overhead()
+    for p in points:
+        table.add_row(
+            f"{p.size}-byte write",
+            **{
+                "unsafe cycles": p.unsafe_cycles,
+                "sandboxed cycles": p.sandboxed_cycles,
+                "ratio": p.ratio,
+                "unsafe insns": p.unsafe_insns,
+                "sandboxed insns": p.sandboxed_insns,
+            },
+        )
+        lo, hi = PAPER_RATIOS[p.size]
+        table.add_paper_row(f"{p.size}-byte write", ratio=(lo + hi) / 2)
+    for name, value in counts.items():
+        table.note(f"{name}: {value} (paper: specific 10, sandboxed 38, "
+                   f"generic 68)")
+    return table
+
+
+def test_sec5d_sandbox_overhead(benchmark):
+    table = reproduce(benchmark, run_sec5d)
+    small_ratio = table.value("40-byte write", "ratio")
+    big_ratio = table.value("4096-byte write", "ratio")
+    # overhead is a real tax on small writes and vanishes on big ones
+    assert small_ratio > big_ratio
+    assert 1.0 < small_ratio < 1.5
+    assert 1.0 <= big_ratio < 1.05
+    # instruction counts: the specialized handler is tiny, sandboxing
+    # adds a handful, and even sandboxed it undercuts the generic one
+    from repro.ash.examples import (
+        build_remote_write_generic,
+        build_remote_write_specific,
+    )
+    from repro.sandbox import Sandboxer
+
+    specific = build_remote_write_specific(1)
+    sandboxed, report = Sandboxer().sandbox(specific)
+    generic = build_remote_write_generic(1)
+    assert len(specific) == 10  # the paper's hand-crafted count, exactly
+    assert report.added_insns > 0
+    assert len(sandboxed) < len(generic)

@@ -1,0 +1,46 @@
+"""Table I: raw round-trip latency for 4-byte messages.
+
+Paper: in-kernel AN2 112 µs, user-level AN2 182 µs, Ethernet 309 µs.
+"Since the hardware overhead for a round trip is approximately 96 µs,
+the kernel software is adding only 16 µs of overhead.  The user-level
+number ... adds another 70 µs."
+"""
+
+from repro.bench.harness import reproduce, within_factor
+from repro.bench.results import BenchTable
+from repro.bench.workloads import raw_pingpong_kernel, raw_pingpong_user
+
+PAPER = {
+    "in-kernel AN2": 112.0,
+    "user-level AN2": 182.0,
+    "Ethernet": 309.0,
+}
+
+
+def run_table1() -> BenchTable:
+    table = BenchTable(
+        name="table1_raw_latency",
+        title="Table I: raw round-trip latency (4-byte messages)",
+        columns=["latency"],
+        unit="us per round trip",
+    )
+    table.add_row("in-kernel AN2", latency=raw_pingpong_kernel())
+    table.add_row("user-level AN2", latency=raw_pingpong_user())
+    table.add_row("Ethernet", latency=raw_pingpong_user(eth=True))
+    for label, ref in PAPER.items():
+        table.add_paper_row(label, latency=ref)
+    return table
+
+
+def test_table1_raw_latency(benchmark):
+    table = reproduce(benchmark, run_table1)
+    in_kernel = table.value("in-kernel AN2", "latency")
+    user = table.value("user-level AN2", "latency")
+    eth = table.value("Ethernet", "latency")
+    # orderings
+    assert in_kernel < user < eth
+    # the user-level path costs roughly 70 µs over in-kernel
+    assert 50.0 <= user - in_kernel <= 95.0
+    # absolute agreement
+    for label, ref in PAPER.items():
+        assert within_factor(table.value(label, "latency"), ref, 1.15)

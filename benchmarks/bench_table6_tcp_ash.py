@@ -1,0 +1,99 @@
+"""Table VI: TCP with the fast path in handlers (AN2).
+
+Paper (µs / MB/s):
+
+| measurement        | Sandboxed ASH | Unsafe ASH | Upcall | User (intr) | User (poll) |
+| Latency            | 394           | 348        | 382    | 459         | 384         |
+| Throughput         | 4.32          | 4.53       | 4.27   | 3.92        | 4.11        |
+| Throughput (small) | 2.66          | 3.05       | 2.78   | 2.32        | 2.56        |
+
+"the use of sandboxed ASHs enables a 65 µs improvement in latency over
+... normal user-level TCP when the applications in question are not
+scheduled"; with handlers the throughput approaches the in-place
+with-checksum configuration; "when a smaller MSS is being used ... the
+benefits that handlers bring to applications are increased".
+
+Known divergence (documented in EXPERIMENTS.md): the paper's sandboxer
+was "optimized for correctness rather than for performance" and its
+overhead made the polling sandboxed-ASH latency ~10 µs *worse* than
+polling user-level; our rewriter inserts ~3-cycle checks, so the
+sandboxed ASH wins latency outright here.
+"""
+
+from repro.bench.harness import reproduce
+from repro.bench.results import BenchTable
+from repro.bench.workloads import TcpConfig, tcp_pingpong, tcp_stream_throughput
+
+COLS = ["Sandboxed ASH", "Unsafe ASH", "Upcall", "User (intr)", "User (poll)"]
+CONFIGS = {
+    "Sandboxed ASH": TcpConfig(handler="ash"),
+    "Unsafe ASH": TcpConfig(handler="ash-unsafe"),
+    "Upcall": TcpConfig(handler="upcall"),
+    "User (intr)": TcpConfig(interrupt_driven=True),
+    "User (poll)": TcpConfig(),
+}
+PAPER = {
+    "Latency": dict(zip(COLS, (394.0, 348.0, 382.0, 459.0, 384.0))),
+    "Throughput": dict(zip(COLS, (4.32, 4.53, 4.27, 3.92, 4.11))),
+    "Throughput (small MSS)": dict(zip(COLS, (2.66, 3.05, 2.78, 2.32, 2.56))),
+}
+
+BULK = 2 * 1024 * 1024
+SMALL_BULK = 1 * 1024 * 1024
+
+
+def small_cfg(cfg: TcpConfig) -> TcpConfig:
+    """The small-MSS variant: MSS 536, 4096-byte application writes."""
+    return TcpConfig(
+        checksum=cfg.checksum, in_place=cfg.in_place, mss=536,
+        handler=cfg.handler, interrupt_driven=cfg.interrupt_driven,
+        window=cfg.window,
+    )
+
+
+def run_table6() -> BenchTable:
+    table = BenchTable(
+        name="table6_tcp_ash",
+        title="Table VI: TCP with handlers on the AN2",
+        columns=COLS,
+        unit="us / MB/s",
+    )
+    latency = {}
+    tput = {}
+    small = {}
+    for col, cfg in CONFIGS.items():
+        latency[col] = tcp_pingpong(config=cfg)
+        tput[col] = tcp_stream_throughput(config=cfg, total_bytes=BULK)
+        small[col] = tcp_stream_throughput(
+            config=small_cfg(cfg), total_bytes=SMALL_BULK, chunk=4096
+        )
+    table.add_row("Latency", **latency)
+    table.add_row("Throughput", **tput)
+    table.add_row("Throughput (small MSS)", **small)
+    for label, refs in PAPER.items():
+        table.add_paper_row(label, **refs)
+    table.note("MSS 3072 / window 8192; small-MSS run: MSS 536, 4 KB writes")
+    return table
+
+
+def test_table6_tcp_handlers(benchmark):
+    table = reproduce(benchmark, run_table6)
+    lat = {c: table.value("Latency", c) for c in COLS}
+    tput = {c: table.value("Throughput", c) for c in COLS}
+    small = {c: table.value("Throughput (small MSS)", c) for c in COLS}
+
+    # throughput ordering: unsafe >= sandboxed > upcall > polling > interrupt
+    assert tput["Unsafe ASH"] >= tput["Sandboxed ASH"] * 0.99
+    assert tput["Sandboxed ASH"] > tput["Upcall"] > tput["User (poll)"]
+    assert tput["User (poll)"] > tput["User (intr)"]
+    # the ASH's latency win over the unscheduled (interrupt) case is
+    # large (paper: 65 µs)
+    assert lat["User (intr)"] - lat["Sandboxed ASH"] >= 50.0
+    # sandboxing costs only a little
+    assert lat["Sandboxed ASH"] - lat["Unsafe ASH"] < 25.0
+    # small MSS amplifies the handler benefit (paper: ~2x the gain)
+    gain_big = tput["Sandboxed ASH"] / tput["User (intr)"]
+    gain_small = small["Sandboxed ASH"] / small["User (intr)"]
+    assert gain_small > gain_big
+    # handlers keep >90% of the large-MSS advantage pattern at small MSS
+    assert small["Sandboxed ASH"] > small["User (poll)"] > small["User (intr)"]

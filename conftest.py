@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make the src layout importable without installation.
+
+The canonical way to use the package is ``pip install -e .`` (or, on
+machines without the ``wheel`` package, ``python setup.py develop``).
+This shim additionally lets ``pytest`` run from a pristine checkout.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

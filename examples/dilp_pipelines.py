@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Dynamic integrated layer processing, exactly as in the paper's Fig 1.
+
+Composes a checksum pipe and a byteswap pipe into one integrated
+message-transfer engine, runs it against the separate-traversal
+strategy, and shows the persistent-register export/import interface
+(initialize the accumulator, read back the folded checksum).
+
+Run:  python examples/dilp_pipelines.py
+"""
+
+from repro import PIPE_WRITE, compile_pl, mk_byteswap_pipe, mk_cksum_pipe, pipel
+from repro.hw.cache import DirectMappedCache
+from repro.hw.calibration import Calibration
+from repro.hw.memory import PhysicalMemory
+from repro.net.checksum import inet_checksum, swab16
+from repro.vcode import Vm, build_byteswap, build_checksum, build_copy, fold_checksum
+
+SIZE = 4096
+
+
+def main() -> None:
+    cal = Calibration()
+    mem = PhysicalMemory(1 << 20)
+    cache = DirectMappedCache(cal)
+    src = mem.alloc("src", SIZE)
+    dst = mem.alloc("dst", SIZE)
+    message = bytes((i * 31 + 7) % 256 for i in range(SIZE))
+    mem.write(src.base, message)
+
+    # --- Fig 1: compose and compile checksum and byteswap pipes --------
+    pl = pipel(2)                       # pipelist for two pipes
+    cksum_id = mk_cksum_pipe(pl)        # create checksum pipe
+    mk_byteswap_pipe(pl)                # create byteswap pipe
+    ilp = compile_pl(pl, PIPE_WRITE, cal=cal)   # compile -> handle
+
+    print("compiled integrated loop:")
+    print(f"  {len(ilp.program)} instructions; "
+          f"per-16B-iteration cost {ilp.sections.main_iter} cycles")
+
+    pl.export(cksum_id, "cksum", 0)     # initialize the accumulator
+    cache.flush_all()                   # the message arrives uncached
+    cycles = ilp.run_fast(mem, src.base, dst.base, SIZE, cache)
+    acc = pl.import_(cksum_id, "cksum")  # read the register back
+    checksum = fold_checksum(acc)
+    mbps = SIZE / (cycles / (cal.cpu_mhz * 1e6)) / 1e6
+
+    print(f"  one traversal: {cycles} cycles = {mbps:.1f} MB/s")
+    print(f"  checksum (LE domain) {checksum:#06x}; reference "
+          f"{swab16(inet_checksum(message)):#06x}")
+    assert checksum == swab16(inet_checksum(message))
+    # and the data really was byteswapped on its way through
+    out = mem.read(dst.base, SIZE)
+    assert out[:4] == message[:4][::-1]
+
+    # --- the separate strategy for comparison ---------------------------
+    vm = Vm(mem, cache=cache, cal=cal)
+    cache.flush_all()
+    t = vm.run(build_copy(), args=(src.base, dst.base, SIZE)).cycles
+    t += vm.run(build_checksum(), args=(dst.base, 0, SIZE)).cycles
+    t += vm.run(build_byteswap(), args=(dst.base, 0, SIZE)).cycles
+    sep_mbps = SIZE / (t / (cal.cpu_mhz * 1e6)) / 1e6
+    print(f"  three traversals: {t} cycles = {sep_mbps:.1f} MB/s")
+    print(f"  integration wins {mbps / sep_mbps:.2f}x "
+          f"(paper Table IV: ~1.4x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Remote lock acquisition in a DSM — control initiation (Sec V-C).
+
+"Low-latency *control* transfer is also crucial to the performance of
+tightly coupled distributed systems.  Examples include remote lock
+acquisition, reference counting, voting, global barriers..."  The home
+node's lock service runs entirely in its kernel: a test-and-set ASH
+grants or denies in one round trip, with no home process scheduled.
+
+Two worker processes on the client node increment a shared counter that
+lives on the home node, each increment under the lock — the classic
+lost-update test.
+
+Run:  python examples/dsm_locks.py
+"""
+
+from repro.apps.dsm import DsmClient, DsmNode, DsmRegion
+from repro.bench.testbed import (
+    CLIENT_TO_SERVER_VCI,
+    SERVER_TO_CLIENT_VCI,
+    make_an2_pair,
+)
+from repro.sim.units import to_us
+
+ROUNDS = 8
+
+
+def main() -> None:
+    tb = make_an2_pair()
+    home_ep = tb.server_kernel.create_endpoint_an2(
+        tb.server_nic, CLIENT_TO_SERVER_VCI
+    )
+    region = DsmRegion(tb.server_kernel, 4096, n_locks=4)
+    node = DsmNode(tb.server_kernel, home_ep, region,
+                   reply_vci=SERVER_TO_CLIENT_VCI)
+    reply_ep = tb.client_kernel.create_endpoint_an2(
+        tb.client_nic, SERVER_TO_CLIENT_VCI
+    )
+    client = DsmClient(tb.client_kernel, tb.client_nic,
+                       CLIENT_TO_SERVER_VCI, reply_ep)
+
+    def worker(tag):
+        def body(proc):
+            for _ in range(ROUNDS):
+                yield from client.lock_acquire(proc, 0)
+                raw = yield from client.read(proc, 0, 4)
+                value = int.from_bytes(raw, "little") + 1
+                yield from client.write(proc, 0, value.to_bytes(4, "little"))
+                yield from client.lock_release(proc, 0)
+        return body
+
+    tb.client_kernel.spawn_process("worker-a", worker("a"))
+    tb.client_kernel.spawn_process("worker-b", worker("b"))
+    tb.run()
+
+    counter = int.from_bytes(region.read_local(0, 4), "little")
+    stats = node.layer.stats
+    print(f"two workers x {ROUNDS} locked increments "
+          f"-> counter = {counter} (expected {2 * ROUNDS})")
+    print(f"home-node kernel served {stats.consumed} operations "
+          f"({client.lock_retries} lock retries under contention); "
+          f"the home application was never scheduled")
+    print(f"virtual time: {to_us(tb.engine.now) / 1000:.2f} ms")
+    assert counter == 2 * ROUNDS
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Remote writes for a distributed-shared-memory substrate (Sec V-D).
+
+The paper motivates application-specific handlers with CRL-style DSM:
+trusted peers update each other's memory with the lowest possible
+latency.  This example installs both remote-write handlers:
+
+* the **generic** one (Thekkath-style): segment + offset + bounds
+  checks against a translation table — safe against any sender;
+* the **application-specific** one: a bare pointer protocol usable
+  between trusted peers ("those that could benefit by it, such as a
+  distributed shared memory system comprised of trusted threads,
+  should not be forced into a more expensive model").
+
+Both move their payload through the DILP engine, and the example shows
+the generic handler *rejecting* an out-of-bounds write while the
+application continues running.
+
+Run:  python examples/dsm_remote_write.py
+"""
+
+import struct
+
+from repro import (
+    PIPE_WRITE,
+    build_remote_write_generic,
+    build_remote_write_specific,
+    compile_pl,
+    make_an2_pair,
+    pipel,
+)
+from repro.ash.examples import PARAM_NSEGS, PARAM_TABLE
+from repro.bench.testbed import CLIENT_TO_SERVER_VCI
+from repro.hw.link import Frame
+from repro.sim.units import to_us
+
+
+def main() -> None:
+    tb = make_an2_pair()
+    sk = tb.server_kernel
+    mem = tb.server.memory
+
+    # the DSM node's shared region: 8 KB, one segment
+    shared = mem.alloc("dsm_region", 8192)
+    table = mem.alloc("dsm_table", 64)
+    mem.store_u32(table.base + 0, shared.base)   # segment 0 base
+    mem.store_u32(table.base + 4, shared.size)   # segment 0 limit
+    params = table.base + 32
+    mem.store_u32(params + PARAM_TABLE, table.base)
+    mem.store_u32(params + PARAM_NSEGS, 1)
+
+    pipeline = compile_pl(pipel(), PIPE_WRITE, cal=tb.cal)
+    ilp = sk.ash_system.register_ilp(pipeline)
+
+    generic_ep = sk.create_endpoint_an2(tb.server_nic, CLIENT_TO_SERVER_VCI)
+    generic_id = sk.ash_system.download(
+        build_remote_write_generic(ilp),
+        allowed_regions=[(table.base, 64), (shared.base, shared.size)],
+        user_word=params,
+    )
+    sk.ash_system.bind(generic_ep, generic_id)
+
+    specific_ep = sk.create_endpoint_an2(tb.server_nic, 5)
+    specific_id = sk.ash_system.download(
+        build_remote_write_specific(ilp),
+        allowed_regions=[(shared.base, shared.size)],
+    )
+    sk.ash_system.bind(specific_ep, specific_id)
+
+    payload = bytes(range(64))
+
+    def generic_msg(segment, offset, data):
+        return struct.pack("<III", segment, offset, len(data)) + data
+
+    def specific_msg(addr, data):
+        return struct.pack("<II", addr, len(data)) + data
+
+    # 1. a valid generic write
+    tb.client_nic.transmit(
+        Frame(generic_msg(0, 256, payload), vci=CLIENT_TO_SERVER_VCI)
+    )
+    # 2. an out-of-bounds generic write (offset past the segment limit)
+    tb.client_nic.transmit(
+        Frame(generic_msg(0, shared.size - 8, payload),
+              vci=CLIENT_TO_SERVER_VCI)
+    )
+    # 3. a trusted-peer pointer write
+    tb.client_nic.transmit(
+        Frame(specific_msg(shared.base + 1024, payload), vci=5)
+    )
+    tb.run()
+
+    assert mem.read(shared.base + 256, 64) == payload
+    assert mem.read(shared.base + 1024, 64) == payload
+
+    gen = sk.ash_system.entry(generic_id)
+    spec = sk.ash_system.entry(specific_id)
+    print(f"generic handler : {len(gen.program)} instructions "
+          f"(sandbox added {gen.report.added_insns}); "
+          f"{gen.consumed} writes applied, "
+          f"{gen.voluntary_aborts} rejected by bounds checks")
+    print(f"specific handler: {len(spec.program)} instructions "
+          f"(sandbox added {spec.report.added_insns}); "
+          f"{spec.consumed} writes applied")
+    print(f"virtual time: {to_us(tb.engine.now):.1f} us")
+    assert gen.consumed == 1 and gen.voluntary_aborts == 1
+    assert spec.consumed == 1
+    print("the trusted-peer protocol needs fewer instructions than the "
+          "generic one, even after sandboxing — the paper's Sec V-D point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""A tiny NFS-style file service over the user-level UDP library.
+
+The paper lists NFS among the protocols implemented as user-level
+libraries on the exokernel.  This example runs the RPC file server on
+one DECstation and a client workload (create, write in blocks, read
+back, verify) on the other, all over real UDP/IP datagrams on the
+simulated AN2.
+
+Run:  python examples/nfs_fileserver.py
+"""
+
+from repro.bench.testbed import make_an2_pair
+from repro.net.headers import ip_aton
+from repro.net.nfs import NfsClient, NfsServer
+from repro.net.socket_api import make_stacks
+from repro.net.udp import UdpSocket
+from repro.sim.units import to_us
+
+FILE_DATA = bytes((i * 131 + 17) % 256 for i in range(20_000))
+BLOCK = 2048
+
+
+def main() -> None:
+    tb = make_an2_pair()
+    cstack, sstack = make_stacks(tb)
+    client_sock = UdpSocket(cstack, 800, rx_vci=2)
+    server_sock = UdpSocket(sstack, 2049, rx_vci=1)
+    server = NfsServer(server_sock)
+    client = NfsClient(client_sock, ip_aton("10.0.0.2"), 2049)
+    stats = {}
+
+    def nfsd(proc):
+        # exactly the workload below: create + writes + getattr + reads
+        # + lookup
+        nops = 3 + 2 * ((len(FILE_DATA) + BLOCK - 1) // BLOCK)
+        yield from server.serve(proc, max_ops=nops)
+
+    def workload(proc):
+        t0 = proc.engine.now
+        fh = yield from client.create(proc, "trace.bin")
+        for off in range(0, len(FILE_DATA), BLOCK):
+            yield from client.write(proc, fh, off,
+                                    FILE_DATA[off:off + BLOCK])
+        size = yield from client.getattr(proc, fh)
+        assert size == len(FILE_DATA)
+        back = bytearray()
+        for off in range(0, len(FILE_DATA), BLOCK):
+            chunk = yield from client.read(proc, fh, off, BLOCK)
+            back += chunk
+        assert bytes(back) == FILE_DATA
+        fh2 = yield from client.lookup(proc, "trace.bin")
+        assert fh2 == fh
+        stats["us"] = to_us(proc.engine.now - t0)
+
+    tb.server_kernel.spawn_process("nfsd", nfsd)
+    tb.client_kernel.spawn_process("client", workload)
+    tb.run()
+
+    nblocks = (len(FILE_DATA) + BLOCK - 1) // BLOCK
+    print(f"wrote and read back {len(FILE_DATA)} bytes in {BLOCK}-byte "
+          f"blocks ({nblocks} writes + {nblocks} reads + 3 metadata ops)")
+    print(f"elapsed: {stats['us']:.0f} us virtual "
+          f"({server.ops_served} RPCs served)")
+    per_op = stats["us"] / server.ops_served
+    print(f"mean RPC round trip: {per_op:.1f} us over UDP/AN2")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""repro: a full reproduction of "ASHs: Application-Specific Handlers
+for High-Performance Messaging" (Wallach, Engler, Kaashoek; SIGCOMM 96).
+
+The package is organised the way the paper's system was:
+
+* :mod:`repro.sim` — deterministic discrete-event substrate,
+* :mod:`repro.hw` — the modelled DECstation pair, caches, AN2/Ethernet,
+* :mod:`repro.vcode` — the VCODE code-generation language and VM,
+* :mod:`repro.sandbox` — download-time verification + SFI rewriting,
+* :mod:`repro.pipes` — dynamic integrated layer processing,
+* :mod:`repro.kernel` — the Aegis-like exokernel (processes, DPF,
+  schedulers, upcalls),
+* :mod:`repro.ash` — the ASH system itself,
+* :mod:`repro.net` — the user-level protocol libraries (ARP/IP/UDP/TCP
+  with the downloadable fast path, HTTP, NFS),
+* :mod:`repro.bench` — testbeds and the paper's experiments.
+
+Quick start (see ``examples/quickstart.py`` for the narrated version)::
+
+    from repro import make_an2_pair, build_echo, Frame
+
+    tb = make_an2_pair()
+    ep = tb.server_kernel.create_endpoint_an2(tb.server_nic, vci=1)
+    params = tb.server.memory.alloc("params", 16)
+    ash_id = tb.server_kernel.ash_system.download(
+        build_echo(), [(params.base, 16)], user_word=params.base)
+    tb.server_kernel.ash_system.bind(ep, ash_id)
+"""
+
+from .ash import (
+    ASH_CONSUMED,
+    ASH_PASS,
+    AshBuilder,
+    AshSystem,
+    build_echo,
+    build_remote_increment,
+    build_remote_write_generic,
+    build_remote_write_specific,
+)
+from .bench.testbed import Testbed, make_an2_pair, make_eth_pair
+from .hw import Calibration, Frame, Link, Node
+from .kernel import Endpoint, Kernel, Predicate, Process, UpcallHandler
+from .pipes import (
+    PIPE_INPLACE,
+    PIPE_READ,
+    PIPE_WRITE,
+    compile_pl,
+    mk_byteswap_pipe,
+    mk_cksum_pipe,
+    mk_xor_pipe,
+    pipel,
+)
+from .sandbox import BudgetPolicy, SandboxPolicy, Sandboxer
+from .vcode import VBuilder, Vm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASH_CONSUMED",
+    "ASH_PASS",
+    "AshBuilder",
+    "AshSystem",
+    "build_echo",
+    "build_remote_increment",
+    "build_remote_write_generic",
+    "build_remote_write_specific",
+    "Testbed",
+    "make_an2_pair",
+    "make_eth_pair",
+    "Calibration",
+    "Frame",
+    "Link",
+    "Node",
+    "Endpoint",
+    "Kernel",
+    "Predicate",
+    "Process",
+    "UpcallHandler",
+    "PIPE_INPLACE",
+    "PIPE_READ",
+    "PIPE_WRITE",
+    "compile_pl",
+    "mk_byteswap_pipe",
+    "mk_cksum_pipe",
+    "mk_xor_pipe",
+    "pipel",
+    "BudgetPolicy",
+    "SandboxPolicy",
+    "Sandboxer",
+    "VBuilder",
+    "Vm",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Applications built on the ASH system (DSM, in the paper's spirit)."""
+
+from .dsm import DsmNode, DsmRegion
+
+__all__ = ["DsmNode", "DsmRegion"]

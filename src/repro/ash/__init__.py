@@ -1,0 +1,27 @@
+"""The paper's core contribution: application-specific safe handlers."""
+
+from .active import ActiveMessageLayer, am_message
+from .examples import (
+    build_echo,
+    build_remote_increment,
+    build_remote_write_generic,
+    build_remote_write_specific,
+)
+from .handler import ASH_CONSUMED, ASH_PASS, AshBuilder
+from .interface import build_handler_env
+from .system import AshEntry, AshSystem
+
+__all__ = [
+    "ActiveMessageLayer",
+    "am_message",
+    "ASH_CONSUMED",
+    "ASH_PASS",
+    "AshBuilder",
+    "AshEntry",
+    "AshSystem",
+    "build_echo",
+    "build_handler_env",
+    "build_remote_increment",
+    "build_remote_write_generic",
+    "build_remote_write_specific",
+]

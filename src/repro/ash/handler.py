@@ -1,0 +1,89 @@
+"""Handler-authoring conventions: the paper's three-part ASH structure.
+
+Section II-A: handlers are "written in a stylized form consisting of
+three parts": protocol/application code that decides whether the ASH
+can run and where data goes; the data-manipulation step (hand-written
+or DILP); and commit/abort protocol code.  :class:`AshBuilder` provides
+the conventions on top of the raw VCODE builder:
+
+* entry registers: ``A0`` = message address, ``A1`` = message length,
+  ``A2`` = the user context word fixed at download time (typically the
+  address of an application parameter block),
+* ``v_consume()`` — commit: the message was fully handled in the kernel,
+* ``v_pass()`` — a *voluntary abort*: return the message "to the kernel
+  to be handled normally" (the user-level library path),
+* trusted kernel entry points reachable with ``v_call``:
+  ``ash_send``, ``ash_dilp``, ``ash_ilp_get``, ``ash_ilp_set``.
+"""
+
+from __future__ import annotations
+
+from ..vcode.builder import VBuilder
+
+__all__ = ["ASH_CONSUMED", "ASH_PASS", "AshBuilder"]
+
+#: handler return values (in V0)
+ASH_CONSUMED = 1
+ASH_PASS = 0
+
+
+class AshBuilder(VBuilder):
+    """VCODE builder with the ASH calling conventions baked in."""
+
+    #: entry register aliases, for readable handler code
+    MSG = VBuilder.A0
+    LEN = VBuilder.A1
+    CTX = VBuilder.A2
+
+    def v_consume(self) -> None:
+        """Commit: the message is consumed; do not run the normal path."""
+        self.v_li(self.V0, ASH_CONSUMED)
+        self.v_ret()
+
+    def v_pass(self) -> None:
+        """Voluntary abort: hand the message back to the kernel."""
+        self.v_li(self.V0, ASH_PASS)
+        self.v_ret()
+
+    def v_send(self, buf_reg: int, len_reg: int, vci_reg: int) -> None:
+        """Emit an ``ash_send`` call (clobbers A0-A2).
+
+        ``buf_reg``/``len_reg``/``vci_reg`` may be any registers; they
+        are moved into the argument registers first (in an order safe
+        even if they alias A0-A2).
+        """
+        # Move via temporaries only when an argument register is both a
+        # source and an earlier destination.
+        if len_reg == self.A0 or vci_reg == self.A0:
+            raise ValueError(
+                "v_send: pass values in non-argument registers (A0 would "
+                "be clobbered before it is read)"
+            )
+        self.v_move(self.A0, buf_reg)
+        if vci_reg == self.A1:
+            raise ValueError("v_send: vci_reg may not be A1")
+        self.v_move(self.A1, len_reg)
+        self.v_move(self.A2, vci_reg)
+        self.v_call("ash_send")
+
+    def v_dilp(self, ilp_id: int, src_reg: int, dst_reg: int,
+               len_reg: int) -> None:
+        """Emit an ``ash_dilp`` call: run integrated pipes over a range.
+
+        ``ilp_id`` is baked in as an immediate — the identifier returned
+        by the kernel when the pipe list was compiled and registered.
+        """
+        for reg in (src_reg, dst_reg, len_reg):
+            if reg == self.A0:
+                raise ValueError(
+                    "v_dilp: operands may not live in A0 (clobbered by "
+                    "the ilp id)"
+                )
+        if dst_reg == self.A1 or len_reg in (self.A1, self.A2):
+            raise ValueError("v_dilp: operand registers alias argument "
+                             "registers in an unsafe order")
+        self.v_li(self.A0, ilp_id)
+        self.v_move(self.A1, src_reg)
+        self.v_move(self.A2, dst_reg)
+        self.v_move(self.A3, len_reg)
+        self.v_call("ash_dilp")

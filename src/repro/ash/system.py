@@ -1,0 +1,221 @@
+"""The ASH system: download, safety, binding and invocation.
+
+Section II: "Operationally, ASH construction and integration has three
+steps": the user writes routines against the VCODE conventions; the ASH
+system "post-processes this object code, ensuring that the user handler
+is safe through a combination of static and runtime checks, and
+downloads it into the operating system, handing back an identifier";
+the identifier is then bound to a demultiplexor, and "when the
+demultiplexor accepts a packet for an application, the ASH will be
+invoked".
+
+Invocation (Section III):
+
+* the application's addressing context is installed
+  (``ash_invoke_us``) — here, the entry's *allowed regions* play the
+  role of the application's pinned pages,
+* the abort timer is armed ("aborting any ASH that attempts to use two
+  clock ticks worth of time or more"; arming/clearing ≈ 1 µs each),
+* the handler runs with its persistent register file, the message
+  mapped into its allowed regions, and the trusted-call environment,
+* a :class:`~repro.errors.VmFault` is an **involuntary abort**: the
+  cycles burnt are charged, the message falls back to the normal path,
+  and (per the paper) the application may no longer be consistent —
+  the fault is recorded, not hidden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional, TYPE_CHECKING
+
+from ..errors import SandboxViolation, VcodeError, VmFault
+from ..hw.calibration import PRIO_INTERRUPT
+from ..hw.nic.ethernet import striped_size
+from ..pipes.compiler import IntegratedPipeline
+from ..sandbox.budget import BudgetPolicy, budget_cycles, straightline_cycle_bound
+from ..sandbox.rewriter import SandboxPolicy, Sandboxer, SandboxReport
+from ..sandbox.verifier import has_loops
+from ..vcode.isa import NUM_REGS, Program
+from ..vcode.vm import Vm
+from .handler import ASH_CONSUMED
+from .interface import build_handler_env
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.nic.base import RxDescriptor
+    from ..kernel.kernel import Endpoint, Kernel
+
+__all__ = ["AshEntry", "AshSystem"]
+
+
+@dataclass
+class AshEntry:
+    """One downloaded handler."""
+
+    ash_id: int
+    program: Program
+    allowed: Optional[list[tuple[int, int]]]   #: None = unsafe (trusted) ASH
+    user_word: int
+    report: Optional[SandboxReport]
+    sandboxed: bool
+    budget: BudgetPolicy = BudgetPolicy.TIMER
+    #: static cycle bound proved at download time (STATIC_ESTIMATE only)
+    static_bound: Optional[int] = None
+    regs: list[int] = field(default_factory=lambda: [0] * NUM_REGS)
+    invocations: int = 0
+    consumed: int = 0
+    voluntary_aborts: int = 0
+    involuntary_aborts: int = 0
+
+
+class AshSystem:
+    """Per-kernel registry and runtime for downloaded handlers."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.cal = kernel.cal
+        self.sandboxer = Sandboxer()
+        self._entries: dict[int, AshEntry] = {}
+        self._ilps: dict[int, IntegratedPipeline] = {}
+        self._next_ash = 1
+        self._next_ilp = 1
+
+    # -- download -----------------------------------------------------------
+    def download(
+        self,
+        program: Program,
+        allowed_regions: Optional[list[tuple[int, int]]],
+        user_word: int = 0,
+        policy: Optional[SandboxPolicy] = None,
+        sandbox: bool = True,
+    ) -> int:
+        """Import a handler; returns its identifier.
+
+        ``sandbox=False`` installs the code *unsafe* — the paper's
+        baseline for measuring sandboxing overhead ("we report
+        experimental results both with and without the cost of
+        sandboxing").  Unsafe handlers still run under the abort timer.
+        """
+        budget = policy.budget if policy is not None else BudgetPolicy.TIMER
+        static_bound = None
+        if budget is BudgetPolicy.STATIC_ESTIMATE:
+            # "For ASHs which contain no loops ... we can simply
+            # overestimate the effects of straight-line code": prove the
+            # bound now, skip the per-invocation timer entirely.
+            if has_loops(program):
+                raise SandboxViolation(
+                    f"{program.name}: static budget estimation requires "
+                    f"loop-free code"
+                )
+            static_bound = straightline_cycle_bound(program, self.cal)
+            if static_bound > budget_cycles(self.cal):
+                raise SandboxViolation(
+                    f"{program.name}: static bound {static_bound} exceeds "
+                    f"the {budget_cycles(self.cal)}-cycle budget"
+                )
+        report = None
+        if sandbox:
+            sandboxer = Sandboxer(policy) if policy is not None else self.sandboxer
+            program, report = sandboxer.sandbox(program)
+        ash_id = self._next_ash
+        self._next_ash += 1
+        self._entries[ash_id] = AshEntry(
+            ash_id=ash_id,
+            program=program,
+            allowed=list(allowed_regions) if allowed_regions is not None else None,
+            user_word=user_word,
+            report=report,
+            sandboxed=sandbox,
+            budget=budget,
+            static_bound=static_bound,
+        )
+        return ash_id
+
+    def entry(self, ash_id: int) -> AshEntry:
+        if ash_id not in self._entries:
+            raise VcodeError(f"no ASH with id {ash_id}")
+        return self._entries[ash_id]
+
+    def remove(self, ash_id: int) -> None:
+        self._entries.pop(ash_id, None)
+
+    # -- DILP registry ------------------------------------------------------
+    def register_ilp(self, pipeline: IntegratedPipeline) -> int:
+        """Install a compiled pipe list; returns the handle handlers
+        pass to ``ash_dilp`` (the ``ilp`` of the paper's Fig. 1)."""
+        ilp_id = self._next_ilp
+        self._next_ilp += 1
+        self._ilps[ilp_id] = pipeline
+        return ilp_id
+
+    def get_ilp(self, ilp_id: int) -> IntegratedPipeline:
+        if ilp_id not in self._ilps:
+            raise VcodeError(f"no compiled pipe list with id {ilp_id}")
+        return self._ilps[ilp_id]
+
+    # -- binding -----------------------------------------------------------
+    def bind(self, ep: "Endpoint", ash_id: Optional[int]) -> None:
+        """Associate the ASH with a demultiplexor (or unbind with None)."""
+        if ash_id is not None:
+            self.entry(ash_id)  # validate
+        ep.ash_id = ash_id
+
+    # -- invocation ----------------------------------------------------------
+    def invoke(self, ep: "Endpoint", desc: "RxDescriptor") -> Generator:
+        """Run the endpoint's ASH against a received message.
+
+        Returns True when the handler consumed the message; False on a
+        voluntary pass or an involuntary abort (the kernel then runs
+        the normal delivery path).
+        """
+        entry = self.entry(ep.ash_id)
+        entry.invocations += 1
+        kernel = self.kernel
+        cpu = kernel.node.cpu
+        cal = self.cal
+
+        # install addressing context + user stack; arm the abort timer
+        # unless the budget was proven statically or is enforced by
+        # backedge checks ("Systems with timers can be exploited to
+        # remove all software checks" — and vice versa)
+        invoke_us = cal.ash_invoke_us
+        uses_timer = entry.budget is BudgetPolicy.TIMER
+        if uses_timer:
+            invoke_us += cal.ash_timer_setup_us
+        yield from cpu.exec_us(invoke_us, PRIO_INTERRUPT)
+
+        msg_span = striped_size(desc.length) if desc.striped else desc.length
+        allowed = entry.allowed
+        if allowed is not None:
+            allowed = allowed + [(desc.addr, msg_span)]
+
+        pending: list = []
+        env = build_handler_env(kernel, desc, pending, allowed, mode="ash", ep=ep)
+        vm = Vm(kernel.node.memory, cache=kernel.node.dcache, cal=cal)
+        try:
+            result = vm.run(
+                entry.program,
+                args=(desc.addr, desc.length, entry.user_word),
+                regs=entry.regs,
+                env=env,
+                cycle_budget=budget_cycles(cal),
+                allowed=allowed or [],
+            )
+        except VmFault as exc:
+            entry.involuntary_aborts += 1
+            burnt = getattr(exc, "cycles", 0)
+            yield from cpu.exec(burnt, PRIO_INTERRUPT)
+            if uses_timer:
+                yield from cpu.exec_us(cal.ash_timer_clear_us, PRIO_INTERRUPT)
+            kernel.node.trace("ash.involuntary_abort",
+                              f"{entry.program.name}: {exc}")
+            return False
+
+        yield from kernel.charge_with_sends(result, pending, PRIO_INTERRUPT)
+        if uses_timer:
+            yield from cpu.exec_us(cal.ash_timer_clear_us, PRIO_INTERRUPT)
+        if result.value == ASH_CONSUMED:
+            entry.consumed += 1
+            return True
+        entry.voluntary_aborts += 1
+        return False

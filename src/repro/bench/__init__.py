@@ -1,0 +1,21 @@
+"""Benchmark harness: testbeds, workloads, microbenchmarks, results."""
+
+from .harness import reproduce, within_factor
+from .micro import copy_throughput, ilp_throughput, sandbox_overhead
+from .results import BenchTable, results_dir
+from .testbed import Testbed, make_an2_pair, make_eth_pair
+from . import workloads
+
+__all__ = [
+    "reproduce",
+    "within_factor",
+    "copy_throughput",
+    "ilp_throughput",
+    "sandbox_overhead",
+    "BenchTable",
+    "results_dir",
+    "Testbed",
+    "make_an2_pair",
+    "make_eth_pair",
+    "workloads",
+]

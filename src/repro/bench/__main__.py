@@ -1,0 +1,91 @@
+"""Run the paper's experiments from the command line.
+
+    python -m repro.bench              # every table and figure
+    python -m repro.bench table1 fig4  # a selection
+    python -m repro.bench --list
+
+Unlike the pytest harness this runs no shape assertions — it just
+builds, prints and persists each table — so it is the friendlier way to
+poke at calibrations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import sys
+import time
+
+BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))),
+    "benchmarks",
+)
+
+#: short name -> (module file, runner function)
+EXPERIMENTS = {
+    "table1": ("bench_table1_raw_latency.py", "run_table1"),
+    "fig3": ("bench_fig3_raw_throughput.py", "run_fig3"),
+    "table2": ("bench_table2_udp_tcp.py", "run_table2"),
+    "table3": ("bench_table3_copies.py", "run_table3"),
+    "table4": ("bench_table4_ilp.py", "run_table4"),
+    "table5": ("bench_table5_remote_increment.py", "run_table5"),
+    "table6": ("bench_table6_tcp_ash.py", "run_table6"),
+    "fig4": ("bench_fig4_scheduling.py", "run_fig4"),
+    "sec5d": ("bench_sec5d_sandbox_overhead.py", "run_sec5d"),
+    "ablation-dilp": ("bench_ablation_dilp.py", "run_ablation"),
+    "ablation-budget": ("bench_ablation_budget.py", "run_budget_ablation"),
+    "ablation-sandbox": ("bench_ablation_sandbox.py", "run_sandbox_ablation"),
+    "ablation-livelock": ("bench_ablation_livelock.py",
+                          "run_livelock_ablation"),
+    "ext-tcp-params": ("bench_ext_tcp_params.py", "run_tcp_params"),
+}
+
+
+def _load_runner(filename: str, fn_name: str):
+    path = os.path.join(BENCH_DIR, filename)
+    spec = importlib.util.spec_from_file_location(
+        f"bench_{fn_name}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return getattr(module, fn_name)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the ASH paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="which to run (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    chosen = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in chosen if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)} "
+                     f"(see --list)")
+
+    for name in chosen:
+        filename, fn_name = EXPERIMENTS[name]
+        runner = _load_runner(filename, fn_name)
+        start = time.time()
+        table = runner()
+        elapsed = time.time() - start
+        print(table.format())
+        path = table.save()
+        print(f"  [{elapsed:.1f}s wall; saved {os.path.relpath(path)}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

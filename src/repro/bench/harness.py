@@ -1,0 +1,38 @@
+"""Glue between the reproduction benchmarks and pytest-benchmark.
+
+Every file in ``benchmarks/`` builds one :class:`BenchTable` through
+:func:`reproduce`, which
+
+* runs the experiment exactly once under the ``benchmark`` fixture (the
+  simulation is deterministic; wall-clock statistics of the *simulator*
+  are what pytest-benchmark records),
+* prints the table (with the paper's reference values interleaved), and
+* persists it to ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Shape checks — who wins, by roughly what factor — are asserted by the
+individual benchmarks after calling :func:`reproduce`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .results import BenchTable
+
+__all__ = ["reproduce", "within_factor"]
+
+
+def reproduce(benchmark, fn: Callable[[], BenchTable]) -> BenchTable:
+    """Run a table-producing experiment once under pytest-benchmark."""
+    table = benchmark.pedantic(fn, rounds=1, iterations=1)
+    print("\n" + table.format())
+    table.save()
+    return table
+
+
+def within_factor(measured: float, reference: float, factor: float) -> bool:
+    """True when measured is within a multiplicative band of reference."""
+    if reference <= 0 or measured <= 0:
+        return False
+    ratio = measured / reference
+    return 1.0 / factor <= ratio <= factor

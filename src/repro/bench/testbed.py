@@ -1,0 +1,117 @@
+"""Canonical two-node testbeds.
+
+The paper's measurements are all taken "on a pair of 40-MHz DECstation
+5000/240s ... connected with an AN2 switch" (and, for the Ethernet
+rows, a shared 10 Mb/s Ethernet).  These builders assemble that pair:
+two nodes, their kernels, and the wire between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..hw.calibration import Calibration, DEFAULT
+from ..hw.link import Link
+from ..hw.nic.an2 import An2Nic
+from ..hw.nic.ethernet import EthernetNic
+from ..hw.node import Node
+from ..kernel.kernel import Kernel
+from ..sim.engine import Engine
+
+__all__ = ["Testbed", "make_an2_pair", "make_eth_pair"]
+
+#: conventional VCI assignments used throughout benches and examples
+CLIENT_TO_SERVER_VCI = 1
+SERVER_TO_CLIENT_VCI = 2
+
+
+@dataclass
+class Testbed:
+    """Two nodes and the wire between them."""
+
+    engine: Engine
+    cal: Calibration
+    client: Node
+    server: Node
+    link: Link
+    client_nic: Any
+    server_nic: Any
+
+    @property
+    def client_kernel(self) -> Kernel:
+        return self.client.kernel
+
+    @property
+    def server_kernel(self) -> Kernel:
+        return self.server.kernel
+
+    def run(self, until: Optional[int] = None,
+            max_virtual_s: float = 120.0) -> None:
+        """Run the simulation.
+
+        ``max_virtual_s`` is a safety cap: a workload bug (e.g. a
+        retransmission loop with no listener) otherwise generates timer
+        events forever and the run never returns.  Pass ``until`` for an
+        explicit bound, or raise the cap for legitimately long runs.
+        """
+        if until is None and max_virtual_s is not None:
+            from ..sim.units import seconds
+
+            until = self.engine.now + seconds(max_virtual_s)
+        self.engine.run(until=until)
+
+
+def make_an2_pair(
+    cal: Calibration = DEFAULT,
+    client_kernel_opts: Optional[dict] = None,
+    server_kernel_opts: Optional[dict] = None,
+    mem_size: int = 16 * 1024 * 1024,
+) -> Testbed:
+    """Two DECstations joined by the AN2 switch."""
+    engine = Engine()
+    client = Node(engine, "client", cal, mem_size=mem_size)
+    server = Node(engine, "server", cal, mem_size=mem_size)
+    client_nic = An2Nic(engine, cal, client.memory, "an2")
+    server_nic = An2Nic(engine, cal, server.memory, "an2")
+    client.add_nic(client_nic)
+    server.add_nic(server_nic)
+    link = Link(
+        engine,
+        rate_bytes_per_s=cal.an2_rate_bytes_per_s,
+        latency_us=cal.an2_hw_oneway_us,
+        name="an2-link",
+    )
+    client_nic.attach(link, 0)
+    server_nic.attach(link, 1)
+    Kernel(client, **(client_kernel_opts or {}))
+    Kernel(server, **(server_kernel_opts or {}))
+    return Testbed(engine, cal, client, server, link, client_nic, server_nic)
+
+
+def make_eth_pair(
+    cal: Calibration = DEFAULT,
+    client_kernel_opts: Optional[dict] = None,
+    server_kernel_opts: Optional[dict] = None,
+    mem_size: int = 16 * 1024 * 1024,
+) -> Testbed:
+    """Two DECstations on the 10 Mb/s Ethernet."""
+    engine = Engine()
+    client = Node(engine, "client", cal, mem_size=mem_size)
+    server = Node(engine, "server", cal, mem_size=mem_size)
+    client_nic = EthernetNic(engine, cal, client.memory, "eth")
+    server_nic = EthernetNic(engine, cal, server.memory, "eth")
+    client.add_nic(client_nic)
+    server.add_nic(server_nic)
+    link = Link(
+        engine,
+        rate_bytes_per_s=cal.eth_rate_bytes_per_s,
+        latency_us=cal.eth_dma_latency_us,
+        min_frame=cal.eth_min_frame,
+        name="eth-link",
+    )
+    client_nic.attach(link, 0)
+    server_nic.attach(link, 1)
+    Kernel(client, **(client_kernel_opts or {}))
+    Kernel(server, **(server_kernel_opts or {}))
+    return Testbed(engine, cal, client, server, link, client_nic, server_nic)

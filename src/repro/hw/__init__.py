@@ -1,0 +1,28 @@
+"""Hardware models: CPU, caches, memory, wires and NICs."""
+
+from .cache import DirectMappedCache
+from .calibration import Calibration, DEFAULT, PRIO_INTERRUPT, PRIO_KERNEL, PRIO_USER
+from .cpu import Cpu
+from .link import Frame, Link
+from .memory import PhysicalMemory, Region
+from .node import Node
+from .nic import An2Nic, EthernetNic, Nic, RxDescriptor
+
+__all__ = [
+    "Calibration",
+    "DEFAULT",
+    "PRIO_INTERRUPT",
+    "PRIO_KERNEL",
+    "PRIO_USER",
+    "Cpu",
+    "DirectMappedCache",
+    "Frame",
+    "Link",
+    "PhysicalMemory",
+    "Region",
+    "Node",
+    "Nic",
+    "RxDescriptor",
+    "An2Nic",
+    "EthernetNic",
+]

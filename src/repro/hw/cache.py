@@ -1,0 +1,122 @@
+"""Direct-mapped write-through data-cache model.
+
+The DECstation 5000/240 has a 64 KB direct-mapped write-through data
+cache with a write buffer.  The model captures exactly the effects the
+paper's Tables III and IV depend on:
+
+* a **load** of a line not present stalls for ``miss_penalty_cycles``
+  and installs the line,
+* a **store** drains through the write buffer without a stall and (in
+  the default configuration) installs the line, so data just written is
+  warm for a subsequent traversal,
+* an explicit **flush** (the paper flushes the message region after DMA
+  and between benchmark iterations) evicts lines so the next traversal
+  misses again.
+
+The cache tracks *tags only* — data lives in
+:class:`repro.hw.memory.PhysicalMemory` — because a write-through cache
+never holds dirty data, so correctness never depends on cached bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .calibration import Calibration
+
+__all__ = ["DirectMappedCache"]
+
+
+class DirectMappedCache:
+    """Tag store + cycle accounting for a direct-mapped cache."""
+
+    def __init__(self, cal: Calibration):
+        self.cal = cal
+        self.line = cal.cache_line
+        self.nlines = cal.cache_size // cal.cache_line
+        # tags[i] is the full line address cached in set i, or -1.
+        self._tags = [-1] * self.nlines
+        self.hits = 0
+        self.misses = 0
+
+    # -- internals -------------------------------------------------------
+    def _index(self, line_addr: int) -> int:
+        return (line_addr // self.line) % self.nlines
+
+    # -- single accesses ---------------------------------------------------
+    def load(self, addr: int, size: int) -> int:
+        """Account for a load of ``size`` bytes at ``addr``.
+
+        Returns the stall cycles incurred (0 if every touched line hits).
+        """
+        return self.touch_range(addr, size, is_store=False)
+
+    def store(self, addr: int, size: int) -> int:
+        """Account for a store; write-through stores never stall."""
+        return self.touch_range(addr, size, is_store=True)
+
+    # -- bulk accesses -----------------------------------------------------
+    def touch_range(self, addr: int, size: int, is_store: bool = False) -> int:
+        """Walk every line in ``[addr, addr+size)``; return stall cycles.
+
+        This is the primitive both the VCODE interpreter (word at a
+        time) and the compiled DILP kernels (whole buffers at once) use,
+        so both charge identical miss costs for identical access
+        patterns.
+        """
+        if size <= 0:
+            return 0
+        first = addr - (addr % self.line)
+        last = addr + size - 1
+        stall = 0
+        tags = self._tags
+        line = self.line
+        for line_addr in range(first, last + 1, line):
+            idx = (line_addr // line) % self.nlines
+            if tags[idx] == line_addr:
+                self.hits += 1
+            else:
+                self.misses += 1
+                if is_store:
+                    if self.cal.store_installs_line:
+                        tags[idx] = line_addr
+                else:
+                    stall += self.cal.miss_penalty_cycles
+                    tags[idx] = line_addr
+        return stall
+
+    def miss_count_range(self, addr: int, size: int) -> int:
+        """How many lines of the range would currently miss (no update)."""
+        if size <= 0:
+            return 0
+        first = addr - (addr % self.line)
+        last = addr + size - 1
+        return sum(
+            1
+            for line_addr in range(first, last + 1, self.line)
+            if self._tags[(line_addr // self.line) % self.nlines] != line_addr
+        )
+
+    # -- flushes -----------------------------------------------------------
+    def flush_range(self, addr: int, size: int) -> None:
+        """Invalidate every line overlapping ``[addr, addr+size)``."""
+        if size <= 0:
+            return
+        first = addr - (addr % self.line)
+        last = addr + size - 1
+        for line_addr in range(first, last + 1, self.line):
+            idx = self._index(line_addr)
+            if self._tags[idx] == line_addr:
+                self._tags[idx] = -1
+
+    def flush_all(self) -> None:
+        self._tags = [-1] * self.nlines
+
+    # -- inspection ----------------------------------------------------------
+    def contains(self, addr: int) -> bool:
+        line_addr = addr - (addr % self.line)
+        return self._tags[self._index(line_addr)] == line_addr
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,119 @@
+"""Physical memory for one node: a flat byte array plus region accounting.
+
+Every buffer the modelled system uses — NIC receive rings, protocol
+buffers, application data structures, ASH scratch space — is carved out
+of one :class:`PhysicalMemory` with a bump allocator.  Addresses are
+plain integers, which is what lets the sandboxer do real range checks
+and lets the cache model attribute misses to real locations.
+
+The DECstations ran MIPS in little-endian mode, so multi-byte loads and
+stores are little-endian; network byte order is handled where it
+belongs, in :mod:`repro.net.headers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MemoryFault
+
+__all__ = ["Region", "PhysicalMemory"]
+
+_ALIGN = 16  # allocate on cache-line boundaries
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, contiguous span of physical memory."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int, size: int = 1) -> bool:
+        return self.base <= addr and addr + size <= self.end
+
+
+class PhysicalMemory:
+    """Byte-addressable memory with range-checked accessors."""
+
+    def __init__(self, size: int = 8 * 1024 * 1024):
+        self.size = size
+        self.data = bytearray(size)
+        self.view = np.frombuffer(self.data, dtype=np.uint8)
+        self._brk = _ALIGN  # keep address 0 unmapped: it makes bugs loud
+        self.regions: dict[str, Region] = {}
+
+    # -- allocation -------------------------------------------------------
+    def alloc(self, name: str, size: int, align: int = _ALIGN) -> Region:
+        """Carve a new region; names must be unique per node."""
+        if name in self.regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if size <= 0:
+            raise ValueError(f"region {name!r}: size must be positive")
+        base = self._brk
+        if base % align:
+            base += align - base % align
+        if base + size > self.size:
+            raise MemoryError(
+                f"out of physical memory allocating {name!r} ({size} bytes)"
+            )
+        self._brk = base + size
+        region = Region(name, base, size)
+        self.regions[name] = region
+        return region
+
+    # -- checked accessors ---------------------------------------------------
+    def _check(self, addr: int, size: int) -> None:
+        if addr < _ALIGN or addr + size > self.size or size < 0:
+            raise MemoryFault(f"physical access out of range: [{addr}, {addr + size})")
+
+    def read(self, addr: int, size: int) -> bytes:
+        self._check(addr, size)
+        return bytes(self.data[addr:addr + size])
+
+    def write(self, addr: int, payload: bytes | bytearray | memoryview) -> None:
+        self._check(addr, len(payload))
+        self.data[addr:addr + len(payload)] = payload
+
+    def load_u8(self, addr: int) -> int:
+        self._check(addr, 1)
+        return self.data[addr]
+
+    def store_u8(self, addr: int, value: int) -> None:
+        self._check(addr, 1)
+        self.data[addr] = value & 0xFF
+
+    def load_u16(self, addr: int) -> int:
+        self._check(addr, 2)
+        return int.from_bytes(self.data[addr:addr + 2], "little")
+
+    def store_u16(self, addr: int, value: int) -> None:
+        self._check(addr, 2)
+        self.data[addr:addr + 2] = (value & 0xFFFF).to_bytes(2, "little")
+
+    def load_u32(self, addr: int) -> int:
+        self._check(addr, 4)
+        return int.from_bytes(self.data[addr:addr + 4], "little")
+
+    def store_u32(self, addr: int, value: int) -> None:
+        self._check(addr, 4)
+        self.data[addr:addr + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    # -- numpy windows (used by the compiled DILP kernels) -------------------
+    def u8_window(self, addr: int, size: int) -> np.ndarray:
+        self._check(addr, size)
+        return self.view[addr:addr + size]
+
+    def u32_window(self, addr: int, size: int) -> np.ndarray:
+        """A little-endian uint32 view; ``size`` must be a multiple of 4."""
+        self._check(addr, size)
+        if size % 4:
+            raise MemoryFault(f"u32 window size {size} not a multiple of 4")
+        return self.view[addr:addr + size].view("<u4")

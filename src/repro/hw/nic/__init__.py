@@ -1,0 +1,16 @@
+"""Network interface models (AN2 ATM and 10 Mb/s Ethernet)."""
+
+from .base import Nic, RxDescriptor
+from .an2 import An2Nic, VcBinding
+from .ethernet import EthernetNic, STRIPE_CHUNK, stripe_offset, striped_size
+
+__all__ = [
+    "Nic",
+    "RxDescriptor",
+    "An2Nic",
+    "VcBinding",
+    "EthernetNic",
+    "STRIPE_CHUNK",
+    "stripe_offset",
+    "striped_size",
+]

@@ -1,0 +1,83 @@
+"""Common NIC machinery.
+
+A NIC sits between a :class:`repro.hw.link.Link` and the node's kernel.
+Receive DMA places frame bytes into node memory and hands the kernel an
+:class:`RxDescriptor`; the kernel (not the NIC) charges CPU time for
+interrupt handling, cache flushing and demultiplexing, because those are
+software costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from ...sim.engine import Engine
+from ..calibration import Calibration
+from ..link import Frame, Link
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..memory import PhysicalMemory
+
+__all__ = ["RxDescriptor", "Nic"]
+
+
+@dataclass
+class RxDescriptor:
+    """Where a received frame landed."""
+
+    nic: "Nic"
+    frame: Frame
+    addr: int              #: physical address of the DMA'd payload
+    length: int            #: payload length in bytes
+    vci: Optional[int]     #: AN2 virtual circuit, None for Ethernet
+    striped: bool = False  #: True when the DMA engine striped the data
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class Nic:
+    """Base class: link attachment, tx, rx dispatch and drop counting."""
+
+    #: subclasses set a human-readable medium name
+    medium = "nic"
+
+    def __init__(self, engine: Engine, cal: Calibration,
+                 memory: "PhysicalMemory", name: str):
+        self.engine = engine
+        self.cal = cal
+        self.memory = memory
+        self.name = name
+        self.link: Optional[Link] = None
+        self.link_end: int = 0
+        #: the kernel installs this; called with an RxDescriptor
+        self.rx_callback: Optional[Callable[[RxDescriptor], None]] = None
+        self.rx_frames = 0
+        self.tx_frames = 0
+        self.rx_dropped = 0
+
+    def attach(self, link: Link, end: int) -> None:
+        self.link = link
+        self.link_end = end
+        link.attach(end, self._on_wire_frame)
+
+    # -- transmit ----------------------------------------------------------
+    def transmit(self, frame: Frame) -> None:
+        """Hand a frame to the DMA engine (no CPU charge here)."""
+        if self.link is None:
+            raise RuntimeError(f"{self.name}: not attached to a link")
+        self.tx_frames += 1
+        self.link.send(self.link_end, frame)
+
+    # -- receive ----------------------------------------------------------
+    def _on_wire_frame(self, frame: Frame) -> None:
+        desc = self._dma(frame)
+        if desc is None:
+            self.rx_dropped += 1
+            return
+        self.rx_frames += 1
+        if self.rx_callback is not None:
+            self.rx_callback(desc)
+
+    def _dma(self, frame: Frame) -> Optional[RxDescriptor]:
+        """Place the frame in memory; None means 'no buffer, drop'."""
+        raise NotImplementedError

@@ -1,0 +1,53 @@
+"""A node: CPU + caches + memory + NICs, the unit a kernel runs on."""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..sim.engine import Engine
+from ..sim.trace import Tracer
+from .cache import DirectMappedCache
+from .calibration import Calibration, DEFAULT
+from .cpu import Cpu
+from .memory import PhysicalMemory
+from .nic.base import Nic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+
+__all__ = ["Node"]
+
+
+class Node:
+    """Hardware for one modelled DECstation 5000/240."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        cal: Calibration = DEFAULT,
+        mem_size: int = 8 * 1024 * 1024,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.engine = engine
+        self.name = name
+        self.cal = cal
+        self.memory = PhysicalMemory(mem_size)
+        self.dcache = DirectMappedCache(cal)
+        self.cpu = Cpu(engine, cal, name=f"{name}.cpu")
+        self.tracer = tracer if tracer is not None else Tracer(engine)
+        self.nics: dict[str, Nic] = {}
+        #: installed by the kernel package at boot
+        self.kernel: Optional["Kernel"] = None
+
+    def add_nic(self, nic: Nic) -> Nic:
+        if nic.name in self.nics:
+            raise ValueError(f"duplicate NIC name {nic.name!r} on {self.name}")
+        self.nics[nic.name] = nic
+        return nic
+
+    def trace(self, tag: str, payload: object = None) -> None:
+        self.tracer.emit(self.name, tag, payload)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Node {self.name} nics={list(self.nics)}>"

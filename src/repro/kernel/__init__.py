@@ -1,0 +1,20 @@
+"""The Aegis-like kernel: processes, scheduling, demux, delivery."""
+
+from .dpf import DpfEngine, Filter, Predicate
+from .kernel import Endpoint, Kernel
+from .process import Process, ProcessState
+from .scheduler import RoundRobinScheduler
+from .upcall import UpcallHandler, UpcallManager
+
+__all__ = [
+    "DpfEngine",
+    "Filter",
+    "Predicate",
+    "Endpoint",
+    "Kernel",
+    "Process",
+    "ProcessState",
+    "RoundRobinScheduler",
+    "UpcallHandler",
+    "UpcallManager",
+]

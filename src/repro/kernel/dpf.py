@@ -1,0 +1,133 @@
+"""DPF: dynamic packet filters compiled at insert time.
+
+Section IV-A: "The Aegis implementation of the packet filter engine,
+DPF, uses dynamic code generation ... eliminating interpretation
+overhead by compiling packet filters to executable code when they are
+installed into the kernel, and by using filter constants to aggressively
+optimize this executable code.  DPF is an order of magnitude faster than
+the highest performance packet filter engines in the literature."
+
+A filter is a conjunction of masked comparisons against packet bytes.
+Inserting it compiles a dedicated Python function (our stand-in for
+emitting machine code) with every offset and constant baked in; the
+interpreted engine — kept for the ablation benchmark — walks the
+predicate list instead.  The modelled demultiplex cost is ~1 µs
+compiled vs ~11 µs interpreted (the paper's order of magnitude).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import DemuxError
+from ..hw.calibration import Calibration
+
+__all__ = ["Predicate", "Filter", "DpfEngine"]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """``packet[offset:offset+size] & mask == value`` (big-endian)."""
+
+    offset: int
+    size: int          #: 1, 2 or 4 bytes
+    value: int
+    mask: int = 0xFFFFFFFF
+
+    def __post_init__(self) -> None:
+        if self.size not in (1, 2, 4):
+            raise DemuxError(f"predicate size must be 1/2/4, got {self.size}")
+        if self.offset < 0:
+            raise DemuxError("predicate offset must be non-negative")
+
+    def matches(self, packet: bytes) -> bool:
+        end = self.offset + self.size
+        if end > len(packet):
+            return False
+        field = int.from_bytes(packet[self.offset:end], "big")
+        return (field & self.mask) == (self.value & self.mask)
+
+
+@dataclass
+class Filter:
+    """A compiled filter: its predicates plus the generated matcher."""
+
+    filter_id: int
+    predicates: tuple[Predicate, ...]
+    compiled: Callable[[bytes], bool]
+
+    @property
+    def specificity(self) -> int:
+        """Total bytes examined; more specific filters win ties."""
+        return sum(p.size for p in self.predicates)
+
+
+def _compile(predicates: tuple[Predicate, ...]) -> Callable[[bytes], bool]:
+    """Generate and compile a dedicated matcher function.
+
+    This is the dynamic code generation step: constants are baked into
+    the source so the runtime does no table walking.
+    """
+    lines = ["def _match(p):"]
+    lines.append(f"    if len(p) < {max((q.offset + q.size for q in predicates), default=0)}:")
+    lines.append("        return False")
+    for q in predicates:
+        end = q.offset + q.size
+        lines.append(
+            f"    if (int.from_bytes(p[{q.offset}:{end}], 'big') & "
+            f"{q.mask & ((1 << (8 * q.size)) - 1)}) != "
+            f"{q.value & q.mask & ((1 << (8 * q.size)) - 1)}:"
+        )
+        lines.append("        return False")
+    lines.append("    return True")
+    namespace: dict = {}
+    exec("\n".join(lines), namespace)  # noqa: S102 - the DCG step
+    return namespace["_match"]
+
+
+class DpfEngine:
+    """The kernel's packet-filter table."""
+
+    def __init__(self, cal: Calibration):
+        self.cal = cal
+        self._filters: dict[int, Filter] = {}
+        self._next_id = 1
+        self.compiled_mode = True   #: False = interpreted (ablation)
+
+    def insert(self, predicates: list[Predicate]) -> int:
+        """Install a filter; returns its id."""
+        preds = tuple(predicates)
+        fid = self._next_id
+        self._next_id += 1
+        self._filters[fid] = Filter(fid, preds, _compile(preds))
+        return fid
+
+    def remove(self, filter_id: int) -> None:
+        if filter_id not in self._filters:
+            raise DemuxError(f"no filter {filter_id}")
+        del self._filters[filter_id]
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def classify(self, packet: bytes) -> tuple[Optional[int], float]:
+        """Find the matching filter.
+
+        Returns ``(filter_id or None, demux cost in µs)``.  The most
+        specific matching filter wins, as in PATHFINDER/DPF semantics.
+        """
+        best: Optional[Filter] = None
+        for filt in self._filters.values():
+            if self.compiled_mode:
+                hit = filt.compiled(packet)
+            else:
+                hit = all(p.matches(packet) for p in filt.predicates)
+            if hit and (best is None or filt.specificity > best.specificity):
+                best = filt
+        cost = (
+            self.cal.dpf_compiled_demux_us
+            if self.compiled_mode
+            else self.cal.dpf_interpreted_demux_us
+        )
+        return (best.filter_id if best else None), cost

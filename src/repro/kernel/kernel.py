@@ -1,0 +1,324 @@
+"""The kernel: interrupt dispatch, demultiplexing and message delivery.
+
+The receive path implements Section V's delivery hierarchy.  After the
+NIC DMA lands a frame and raises an interrupt, the kernel:
+
+1. charges the driver cost (including the "software cache flush of the
+   message location, to ensure consistency after the DMA"),
+2. demultiplexes — by virtual circuit on the AN2, by DPF filter on the
+   Ethernet ("no more functionality is required in the kernel than is
+   needed to demultiplex the messages to the correct process"),
+3. delivers, in order of preference:
+   a hard-wired **in-kernel handler** (the Table I baseline), a bound
+   **ASH**, a registered **upcall**, or the **normal path** — append a
+   notification to the endpoint ring and let the scheduler hook decide
+   whether arrival boosts the owning process.
+
+On the Ethernet normal path the kernel must copy the frame out of the
+scarce device ring immediately ("a message must not stay in them very
+long ... at least one copy is always necessary"); the AN2 normal path
+leaves data in the application-provided buffer (zero copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from ..errors import DemuxError
+from ..hw.calibration import Calibration, PRIO_INTERRUPT, PRIO_KERNEL
+from ..hw.link import Frame
+from ..hw.nic.an2 import An2Nic
+from ..hw.nic.base import Nic, RxDescriptor
+from ..hw.nic.ethernet import EthernetNic, striped_size
+from ..hw.node import Node
+from ..sim.queues import Channel
+from ..vcode.vm import VmResult
+from .dpf import DpfEngine, Predicate
+from .process import Process
+from .scheduler import RoundRobinScheduler
+from .syscalls import SyscallInterface
+from .upcall import UpcallHandler, UpcallManager
+
+__all__ = ["Endpoint", "Kernel"]
+
+#: in-kernel handler: fn(kernel, endpoint, desc) -> generator -> consumed?
+KernelHandler = Callable[["Kernel", "Endpoint", RxDescriptor], Generator]
+
+
+@dataclass
+class Endpoint:
+    """A demultiplexing target: where messages for one consumer land."""
+
+    name: str
+    nic: Nic
+    vci: Optional[int] = None          #: AN2 virtual circuit
+    filter_id: Optional[int] = None    #: Ethernet DPF filter
+    owner: Optional[Process] = None
+    ring: Channel = None               #: notification ring (kernel/user shared)
+    ash_id: Optional[int] = None
+    upcall: Optional[UpcallHandler] = None
+    kernel_handler: Optional[KernelHandler] = None
+    buf_size: int = 4096
+    #: Ethernet only: kernel-side buffers messages are copied into
+    kbufs: list[int] = field(default_factory=list)
+    rx_count: int = 0
+    # receive-livelock guard state (Section VI-4)
+    ash_window_start: int = 0
+    ash_window_count: int = 0
+    livelock_deferrals: int = 0
+
+    def clear_handlers(self) -> None:
+        self.ash_id = None
+        self.upcall = None
+        self.kernel_handler = None
+
+
+class Kernel(SyscallInterface):
+    """One Aegis-like kernel instance per node."""
+
+    def __init__(
+        self,
+        node: Node,
+        boost_on_packet: bool = False,
+        ultrix_costs: bool = False,
+    ):
+        self.node = node
+        self.engine = node.engine
+        self.cal: Calibration = node.cal
+        node.kernel = self
+        self.scheduler = RoundRobinScheduler(
+            self, boost_on_packet=boost_on_packet, ultrix_costs=ultrix_costs
+        )
+        self.dpf = DpfEngine(self.cal)
+        self.upcalls = UpcallManager(self)
+        self.endpoints: list[Endpoint] = []
+        self._by_vci: dict[tuple[str, int], Endpoint] = {}
+        self._by_filter: dict[int, Endpoint] = {}
+        self.rx_interrupts = 0
+        self.demux_misses = 0
+        # the ASH runtime (imported here to keep layering one-way)
+        from ..ash.system import AshSystem
+        self.ash_system = AshSystem(self)
+        for nic in node.nics.values():
+            self.attach_nic(nic)
+
+    # -- configuration ------------------------------------------------------
+    def attach_nic(self, nic: Nic) -> None:
+        nic.rx_callback = self._on_rx
+
+    def spawn_process(self, name: str, body) -> Process:
+        proc = Process(self, name, body)
+        proc.start()
+        return proc
+
+    def create_endpoint_an2(
+        self,
+        nic: An2Nic,
+        vci: int,
+        nbufs: int = 8,
+        buf_size: int = 4096,
+        owner: Optional[Process] = None,
+        name: Optional[str] = None,
+    ) -> Endpoint:
+        """Bind a VC: the application provides ``nbufs`` receive buffers
+        "for messages to be DMA'ed to"."""
+        name = name or f"{nic.name}.vc{vci}"
+        region = self.node.memory.alloc(f"{name}.bufs", nbufs * buf_size)
+        buffers = [
+            (region.base + i * buf_size, buf_size) for i in range(nbufs)
+        ]
+        nic.bind_vci(vci, buffers, owner=owner)
+        ep = Endpoint(
+            name=name, nic=nic, vci=vci, owner=owner,
+            ring=Channel(self.engine, f"{name}.ring"), buf_size=buf_size,
+        )
+        self.endpoints.append(ep)
+        self._by_vci[(nic.name, vci)] = ep
+        return ep
+
+    def create_endpoint_eth(
+        self,
+        nic: EthernetNic,
+        predicates: list[Predicate],
+        owner: Optional[Process] = None,
+        name: Optional[str] = None,
+        nkbufs: int = 8,
+    ) -> Endpoint:
+        """Install a DPF filter and the kernel-side copy buffers."""
+        fid = self.dpf.insert(predicates)
+        name = name or f"{nic.name}.f{fid}"
+        buf_size = self.cal.eth_mtu + 32
+        region = self.node.memory.alloc(f"{name}.kbufs", nkbufs * buf_size)
+        ep = Endpoint(
+            name=name, nic=nic, filter_id=fid, owner=owner,
+            ring=Channel(self.engine, f"{name}.ring"), buf_size=buf_size,
+            kbufs=[region.base + i * buf_size for i in range(nkbufs)],
+        )
+        self.endpoints.append(ep)
+        self._by_filter[fid] = ep
+        return ep
+
+    # -- transmit ----------------------------------------------------------
+    def kernel_send(self, nic: Nic, frame: Frame) -> Generator:
+        """The in-kernel transmit path (descriptor writes + doorbell)."""
+        cost = (
+            self.cal.an2_kernel_send_us
+            if isinstance(nic, An2Nic)
+            else self.cal.eth_tx_us
+        )
+        yield from self.node.cpu.exec_us(cost, PRIO_KERNEL)
+        nic.transmit(frame)
+
+    # -- receive path --------------------------------------------------------
+    def _on_rx(self, desc: RxDescriptor) -> None:
+        self.engine.spawn(self._rx_interrupt(desc), name="rx-intr")
+
+    def _rx_interrupt(self, desc: RxDescriptor) -> Generator:
+        cpu = self.node.cpu
+        cal = self.cal
+        self.rx_interrupts += 1
+
+        if isinstance(desc.nic, An2Nic):
+            # driver cost incl. the post-DMA software cache flush
+            yield from cpu.exec_us(cal.an2_kernel_recv_us, PRIO_INTERRUPT)
+            self.node.dcache.flush_range(desc.addr, desc.length)
+            ep = self._by_vci.get((desc.nic.name, desc.vci))
+        else:
+            yield from cpu.exec_us(cal.eth_driver_us, PRIO_INTERRUPT)
+            self.node.dcache.flush_range(desc.addr, striped_size(desc.length))
+            fid, demux_us = self.dpf.classify(desc.frame.data)
+            yield from cpu.exec_us(demux_us, PRIO_INTERRUPT)
+            ep = self._by_filter.get(fid) if fid is not None else None
+
+        if ep is None:
+            self.demux_misses += 1
+            self._recycle(desc)
+            return
+        ep.rx_count += 1
+        yield from self._deliver(ep, desc)
+
+    def _deliver(self, ep: Endpoint, desc: RxDescriptor) -> Generator:
+        cpu = self.node.cpu
+        cal = self.cal
+
+        if ep.kernel_handler is not None:
+            consumed = yield from ep.kernel_handler(self, ep, desc)
+            if consumed:
+                self._recycle(desc)
+                return
+
+        if ep.ash_id is not None and self._ash_admission(ep):
+            consumed = yield from self.ash_system.invoke(ep, desc)
+            if consumed:
+                self._recycle(desc)
+                return
+
+        if ep.upcall is not None:
+            consumed = yield from self.upcalls.dispatch(ep, ep.upcall, desc)
+            if consumed:
+                self._recycle(desc)
+                return
+
+        # -- normal path ------------------------------------------------
+        if isinstance(desc.nic, EthernetNic):
+            # The device ring is scarce: copy out now, then return the slot.
+            if not ep.kbufs:
+                self._recycle(desc)  # no kernel buffer: drop
+                return
+            kbuf = ep.kbufs.pop(0)
+            cycles = self._eth_copy_out(desc, kbuf)
+            yield from cpu.exec(cycles, PRIO_INTERRUPT)
+            desc.nic.return_slot(desc.addr)
+            desc.addr = kbuf
+            desc.striped = False
+            desc.meta["kbuf"] = True
+
+        ep.ring.put(desc)
+        if ep.owner is not None:
+            sched = self.scheduler
+            if sched.boost_on_packet and sched.current is not ep.owner:
+                wake = cal.interrupt_wake_us + sched.nprocs * cal.sched_scan_us
+                if sched.ultrix_costs:
+                    wake += cal.ultrix_fixed_us
+                yield from cpu.exec_us(wake, PRIO_INTERRUPT)
+            sched.on_packet(ep.owner)
+
+    def _ash_admission(self, ep: Endpoint) -> bool:
+        """Receive-livelock guard (Section VI-4).
+
+        ASHs are "fundamentally an eager, not a lazy technique"; under a
+        message flood an endpoint exceeding its per-tick share has its
+        handler disabled for the rest of the tick, and the excess
+        messages take the normal (lazy, receiver-priority) path instead.
+        """
+        limit = self.cal.ash_livelock_limit
+        if limit <= 0:
+            return True
+        from ..sim.units import us as us_ticks
+
+        window = us_ticks(self.cal.tick_us)
+        now = self.engine.now
+        if now - ep.ash_window_start >= window:
+            ep.ash_window_start = now
+            ep.ash_window_count = 0
+        if ep.ash_window_count >= limit:
+            ep.livelock_deferrals += 1
+            return False
+        ep.ash_window_count += 1
+        return True
+
+    def _eth_copy_out(self, desc: RxDescriptor, kbuf: int) -> int:
+        """De-stripe the frame into a kernel buffer; returns cycles."""
+        from ..pipes import Interface, PIPE_WRITE, compile_pl, pipel
+        if not hasattr(self, "_eth_copy_engine"):
+            self._eth_copy_engine = compile_pl(
+                pipel(name="ethcopy"), PIPE_WRITE,
+                interface=Interface.ETH_STRIPED, cal=self.cal,
+            )
+        n = desc.length - (desc.length % 4)  # word-aligned body
+        cycles = 0
+        if n:
+            cycles = self._eth_copy_engine.run_fast(
+                self.node.memory, desc.addr, kbuf, n, self.node.dcache
+            )
+        if desc.length % 4:  # trailing bytes, copied by hand
+            from ..hw.nic.ethernet import stripe_offset
+            for i in range(n, desc.length):
+                byte = self.node.memory.load_u8(desc.addr + stripe_offset(i))
+                self.node.memory.store_u8(kbuf + i, byte)
+            cycles += 4 * (desc.length % 4)
+        return cycles
+
+    def _recycle(self, desc: RxDescriptor) -> None:
+        """Return the receive buffer to the hardware."""
+        if isinstance(desc.nic, An2Nic):
+            desc.nic.replenish(desc.vci, desc.addr, self.cal.an2_max_packet)
+        elif isinstance(desc.nic, EthernetNic) and not desc.meta.get("kbuf"):
+            desc.nic.return_slot(desc.addr)
+
+    def _replenish(self, ep: Endpoint, desc: RxDescriptor) -> Generator:
+        """Syscall back end: application returns a buffer it was using."""
+        if isinstance(desc.nic, EthernetNic) and desc.meta.get("kbuf"):
+            ep.kbufs.append(desc.addr)
+        else:
+            self._recycle(desc)
+        return
+        yield  # pragma: no cover - marks this as a generator
+
+    # -- shared handler accounting -----------------------------------------
+    def charge_with_sends(
+        self, result: VmResult, pending: list[tuple[Nic, Frame]], prio: int
+    ) -> Generator:
+        """Charge a handler's cycles, transmitting its sends at the cycle
+        offsets they occurred (so replies leave the node at the right
+        simulated time)."""
+        cpu = self.node.cpu
+        sends = [entry for entry in result.call_log
+                 if entry[0] in ("ash_send", "net_send")]
+        charged = 0
+        for (name, at_cycles, _v), (nic, frame) in zip(sends, pending):
+            yield from cpu.exec(at_cycles - charged, prio)
+            charged = at_cycles
+            nic.transmit(frame)
+        yield from cpu.exec(result.cycles - charged, prio)

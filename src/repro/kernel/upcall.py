@@ -1,0 +1,91 @@
+"""Fast asynchronous upcalls: the paper's comparison mechanism.
+
+Section V: "We implemented fast asynchronous upcalls to compare ASHs
+with.  Upcalls involve application code (a handler) being run at user
+level in response to a message.  Because this code is not being
+downloaded into the kernel, it does not need to be made safe.  Although
+an upcall requires a switch to user space to run the handler, a full
+process switch is unnecessary" — Liedtke-style address-space switch
+rather than a context switch.
+
+An upcall handler here is the *same VCODE program* an ASH would be
+(unsandboxed, since user-level hardware protection guards it), executed
+with user-level costs: dispatch pays the kernel→user switch, and any
+reply the handler sends pays the system-call path an application would
+pay.  The paper notes its upcall implementation batches messages to
+amortize kernel crossings — ``upcall_batch_check_us`` models that
+machinery's per-message cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional, TYPE_CHECKING
+
+from ..errors import VmFault
+from ..hw.calibration import PRIO_INTERRUPT
+from ..vcode.isa import Program
+from ..vcode.vm import Vm
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.nic.base import RxDescriptor
+    from .kernel import Endpoint, Kernel
+
+__all__ = ["UpcallHandler", "UpcallManager"]
+
+
+@dataclass
+class UpcallHandler:
+    """A registered user-level message handler."""
+
+    program: Program
+    user_word: int = 0
+    name: str = "upcall"
+    invocations: int = 0
+    faults: int = 0
+
+
+class UpcallManager:
+    """Dispatches upcalls from the receive interrupt path."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.cal = kernel.cal
+
+    def dispatch(
+        self, ep: "Endpoint", handler: UpcallHandler, desc: "RxDescriptor"
+    ) -> Generator:
+        """Run the handler at user level; returns True if it consumed
+        the message."""
+        kernel = self.kernel
+        cpu = kernel.node.cpu
+        cal = self.cal
+        # batching machinery + switch into the application's address space
+        yield from cpu.exec_us(
+            cal.upcall_batch_check_us + cal.upcall_dispatch_us, PRIO_INTERRUPT
+        )
+        handler.invocations += 1
+
+        from ..ash.interface import build_handler_env  # lazy: avoid cycle
+
+        pending = []
+        env = build_handler_env(
+            kernel, desc, pending, allowed=None, mode="upcall", ep=ep
+        )
+        vm = Vm(kernel.node.memory, cache=kernel.node.dcache, cal=cal)
+        try:
+            result = vm.run(
+                handler.program,
+                args=(desc.addr, desc.length, handler.user_word),
+                env=env,
+            )
+        except VmFault as exc:
+            # At user level a fault would take down the app, not the
+            # kernel; for the benchmarks we just account the time burnt.
+            handler.faults += 1
+            yield from cpu.exec(getattr(exc, "cycles", 0), PRIO_INTERRUPT)
+            yield from cpu.exec_us(cal.upcall_return_us, PRIO_INTERRUPT)
+            return False
+        yield from kernel.charge_with_sends(result, pending, PRIO_INTERRUPT)
+        yield from cpu.exec_us(cal.upcall_return_us, PRIO_INTERRUPT)
+        return result.value == 1

@@ -1,0 +1,130 @@
+"""ARP/RARP: address resolution as a user-level library + tiny responder.
+
+On the Ethernet, IP packets need a destination MAC; hosts answer ARP
+requests for their own address.  The responder runs as an in-kernel
+handler on a dedicated DPF endpoint (answering ARP does not need the
+application — the paper lists ARP/RARP among the library protocols, and
+its latency is uninteresting, so we keep the responder simple).  RARP
+lookups (MAC -> IP) are answered from the same table.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, TYPE_CHECKING
+
+from ..errors import ProtocolError
+from ..hw.link import Frame
+from ..kernel.dpf import Predicate
+from .headers import ArpPacket, ETHERTYPE_ARP, EthernetHeader, ip_ntoa
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Endpoint, Kernel
+    from ..kernel.process import Process
+
+__all__ = ["ArpCache", "install_arp_responder", "BROADCAST_MAC"]
+
+BROADCAST_MAC = b"\xff" * 6
+
+
+class ArpCache:
+    """IP <-> MAC mappings learned from traffic and replies."""
+
+    def __init__(self) -> None:
+        self._by_ip: dict[int, bytes] = {}
+
+    def learn(self, ip: int, mac: bytes) -> None:
+        self._by_ip[ip] = mac
+
+    def lookup(self, ip: int) -> Optional[bytes]:
+        return self._by_ip.get(ip)
+
+    def reverse(self, mac: bytes) -> Optional[int]:
+        for ip, known in self._by_ip.items():
+            if known == mac:
+                return ip
+        return None
+
+    def __len__(self) -> int:
+        return len(self._by_ip)
+
+
+def install_arp_responder(
+    kernel: "Kernel", nic, my_ip: int, my_mac: bytes, cache: ArpCache
+) -> "Endpoint":
+    """Install the DPF filter + in-kernel handler answering ARP/RARP."""
+    ep = kernel.create_endpoint_eth(
+        nic,
+        [Predicate(offset=12, size=2, value=ETHERTYPE_ARP)],
+        name=f"{nic.name}.arp",
+    )
+
+    def responder(kern, endpoint, desc) -> Generator:
+        raw = desc.frame.data
+        try:
+            arp = ArpPacket.unpack(raw[EthernetHeader.SIZE:])
+        except ProtocolError:
+            return True  # malformed: swallow
+        cache.learn(arp.sender_ip, arp.sender_mac)
+        reply = None
+        if arp.opcode == ArpPacket.REQUEST and arp.target_ip == my_ip:
+            reply = ArpPacket(
+                opcode=ArpPacket.REPLY,
+                sender_mac=my_mac, sender_ip=my_ip,
+                target_mac=arp.sender_mac, target_ip=arp.sender_ip,
+            )
+        elif arp.opcode == ArpPacket.RARP_REQUEST and arp.target_mac == my_mac:
+            reply = ArpPacket(
+                opcode=ArpPacket.RARP_REPLY,
+                sender_mac=my_mac, sender_ip=my_ip,
+                target_mac=arp.sender_mac, target_ip=arp.sender_ip,
+            )
+        if reply is not None:
+            eth = EthernetHeader(
+                dst=arp.sender_mac, src=my_mac, ethertype=ETHERTYPE_ARP
+            )
+            yield from kern.kernel_send(desc.nic, Frame(eth.pack() + reply.pack()))
+        return True
+
+    ep.kernel_handler = responder
+    return ep
+
+
+def resolve(
+    proc: "Process",
+    kernel: "Kernel",
+    nic,
+    my_ip: int,
+    my_mac: bytes,
+    cache: ArpCache,
+    reply_ep: "Endpoint",
+    target_ip: int,
+    max_tries: int = 3,
+) -> Generator:
+    """Resolve ``target_ip`` to a MAC, querying the wire if needed.
+
+    ``reply_ep`` is the caller's ARP endpoint (replies are demuxed there
+    by the responder's filter on the *other* host; our own responder's
+    endpoint doubles as the listening point since its handler learns
+    every sender before swallowing requests — replies addressed to us
+    are learnt the same way).
+    """
+    mac = cache.lookup(target_ip)
+    if mac is not None:
+        return mac
+    for _try in range(max_tries):
+        request = ArpPacket(
+            opcode=ArpPacket.REQUEST,
+            sender_mac=my_mac, sender_ip=my_ip,
+            target_mac=b"\x00" * 6, target_ip=target_ip,
+        )
+        eth = EthernetHeader(dst=BROADCAST_MAC, src=my_mac,
+                             ethertype=ETHERTYPE_ARP)
+        yield from kernel.sys_net_send(
+            proc, nic, Frame(eth.pack() + request.pack()), user_path=False
+        )
+        # wait (bounded) for the cache to learn the answer
+        for _spin in range(200):
+            if cache.lookup(target_ip) is not None:
+                return cache.lookup(target_ip)
+            yield from proc.compute_us(proc.cal.poll_check_us * 5)
+    raise ProtocolError(f"ARP: no reply for {ip_ntoa(target_ip)}")

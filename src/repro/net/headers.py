@@ -1,0 +1,300 @@
+"""Wire-format codecs: Ethernet, ARP, IPv4, UDP, TCP.
+
+Real byte layouts, straight from the RFCs — frames on the simulated
+wire are genuine packets (a capture of the AN2 link could be fed to a
+real protocol analyzer, minus the ATM adaptation layer).  All
+multi-byte fields are network byte order.
+
+Addresses are plain integers internally; :func:`ip_aton`/:func:`ip_ntoa`
+convert dotted-quad strings.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..errors import ProtocolError
+from .checksum import inet_checksum, inet_checksum_final
+
+__all__ = [
+    "ETHERTYPE_IP",
+    "ETHERTYPE_ARP",
+    "IPPROTO_UDP",
+    "IPPROTO_TCP",
+    "TCP_FIN", "TCP_SYN", "TCP_RST", "TCP_PSH", "TCP_ACK",
+    "ip_aton", "ip_ntoa", "mac_str",
+    "EthernetHeader", "ArpPacket", "Ipv4Header", "UdpHeader", "TcpHeader",
+    "pseudo_header",
+]
+
+ETHERTYPE_IP = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_PSH = 0x08
+TCP_ACK = 0x10
+
+
+def ip_aton(dotted: str) -> int:
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ProtocolError(f"bad IPv4 address {dotted!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError:
+            raise ProtocolError(f"bad IPv4 address {dotted!r}") from None
+        if not 0 <= octet <= 255:
+            raise ProtocolError(f"bad IPv4 address {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def ip_ntoa(addr: int) -> str:
+    return ".".join(str((addr >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def mac_str(mac: bytes) -> str:
+    return ":".join(f"{b:02x}" for b in mac)
+
+
+@dataclass(frozen=True)
+class EthernetHeader:
+    """14-byte Ethernet II header."""
+
+    dst: bytes
+    src: bytes
+    ethertype: int
+
+    SIZE = 14
+
+    def pack(self) -> bytes:
+        if len(self.dst) != 6 or len(self.src) != 6:
+            raise ProtocolError("MAC addresses are 6 bytes")
+        return self.dst + self.src + struct.pack("!H", self.ethertype)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetHeader":
+        if len(data) < cls.SIZE:
+            raise ProtocolError("truncated Ethernet header")
+        return cls(
+            dst=bytes(data[0:6]),
+            src=bytes(data[6:12]),
+            ethertype=struct.unpack("!H", data[12:14])[0],
+        )
+
+
+@dataclass(frozen=True)
+class ArpPacket:
+    """ARP for IPv4-over-Ethernet (RFC 826); also serves RARP shapes."""
+
+    opcode: int              #: 1 request, 2 reply, 3/4 RARP
+    sender_mac: bytes
+    sender_ip: int
+    target_mac: bytes
+    target_ip: int
+
+    SIZE = 28
+    REQUEST = 1
+    REPLY = 2
+    RARP_REQUEST = 3
+    RARP_REPLY = 4
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            "!HHBBH6sI6sI",
+            1,              # hardware type: Ethernet
+            ETHERTYPE_IP,   # protocol type
+            6, 4,           # address lengths
+            self.opcode,
+            self.sender_mac, self.sender_ip,
+            self.target_mac, self.target_ip,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ArpPacket":
+        if len(data) < cls.SIZE:
+            raise ProtocolError("truncated ARP packet")
+        (htype, ptype, hlen, plen, opcode, smac, sip, tmac, tip) = (
+            struct.unpack("!HHBBH6sI6sI", data[:cls.SIZE])
+        )
+        if htype != 1 or ptype != ETHERTYPE_IP or hlen != 6 or plen != 4:
+            raise ProtocolError("unsupported ARP format")
+        return cls(opcode, smac, sip, tmac, tip)
+
+
+@dataclass(frozen=True)
+class Ipv4Header:
+    """20-byte IPv4 header (no options)."""
+
+    src: int
+    dst: int
+    proto: int
+    total_length: int
+    ident: int = 0
+    ttl: int = 64
+    flags: int = 0           #: bit 1 = DF, bit 0(of 3-bit field) = MF
+    frag_offset: int = 0     #: in 8-byte units
+
+    SIZE = 20
+    MF = 0x1
+    DF = 0x2
+
+    def pack(self) -> bytes:
+        header = struct.pack(
+            "!BBHHHBBHII",
+            (4 << 4) | 5,                   # version + IHL
+            0,                              # TOS
+            self.total_length,
+            self.ident,
+            (self.flags << 13) | self.frag_offset,
+            self.ttl,
+            self.proto,
+            0,                              # checksum placeholder
+            self.src,
+            self.dst,
+        )
+        cksum = inet_checksum_final(header)
+        return header[:10] + struct.pack("!H", cksum) + header[12:]
+
+    @classmethod
+    def unpack(cls, data: bytes, verify: bool = True) -> "Ipv4Header":
+        if len(data) < cls.SIZE:
+            raise ProtocolError("truncated IPv4 header")
+        (vihl, _tos, total_length, ident, fl_frag, ttl, proto,
+         _cksum, src, dst) = struct.unpack("!BBHHHBBHII", data[:cls.SIZE])
+        if vihl >> 4 != 4:
+            raise ProtocolError(f"not IPv4 (version {vihl >> 4})")
+        if (vihl & 0xF) != 5:
+            raise ProtocolError("IPv4 options unsupported")
+        if verify and inet_checksum(data[:cls.SIZE]) != 0xFFFF:
+            raise ProtocolError("IPv4 header checksum failed")
+        return cls(
+            src=src, dst=dst, proto=proto, total_length=total_length,
+            ident=ident, ttl=ttl,
+            flags=fl_frag >> 13, frag_offset=fl_frag & 0x1FFF,
+        )
+
+    @property
+    def more_fragments(self) -> bool:
+        return bool(self.flags & self.MF)
+
+
+def pseudo_header(src: int, dst: int, proto: int, length: int) -> bytes:
+    """The 12-byte TCP/UDP pseudo-header (RFC 768/793)."""
+    return struct.pack("!IIBBH", src, dst, 0, proto, length)
+
+
+@dataclass(frozen=True)
+class UdpHeader:
+    """8-byte UDP header (RFC 768)."""
+
+    src_port: int
+    dst_port: int
+    length: int
+    checksum: int = 0
+
+    SIZE = 8
+
+    def pack(self) -> bytes:
+        return struct.pack("!HHHH", self.src_port, self.dst_port,
+                           self.length, self.checksum)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UdpHeader":
+        if len(data) < cls.SIZE:
+            raise ProtocolError("truncated UDP header")
+        src, dst, length, cksum = struct.unpack("!HHHH", data[:cls.SIZE])
+        return cls(src, dst, length, cksum)
+
+    @classmethod
+    def build(cls, src_ip: int, dst_ip: int, src_port: int, dst_port: int,
+              payload: bytes, with_checksum: bool = True) -> bytes:
+        """Header bytes with the checksum filled in (or zero = disabled)."""
+        length = cls.SIZE + len(payload)
+        header = cls(src_port, dst_port, length).pack()
+        if not with_checksum:
+            return header
+        pseudo = pseudo_header(src_ip, dst_ip, IPPROTO_UDP, length)
+        cksum = inet_checksum_final(pseudo + header + payload)
+        if cksum == 0:
+            cksum = 0xFFFF  # RFC 768: transmitted as all-ones
+        return header[:6] + struct.pack("!H", cksum)
+
+    @staticmethod
+    def verify(src_ip: int, dst_ip: int, segment: bytes) -> bool:
+        """True when the datagram checksum is valid (or disabled)."""
+        if len(segment) < UdpHeader.SIZE:
+            return False
+        if segment[6:8] == b"\x00\x00":
+            return True
+        pseudo = pseudo_header(src_ip, dst_ip, IPPROTO_UDP, len(segment))
+        return inet_checksum(pseudo + segment) == 0xFFFF
+
+
+@dataclass(frozen=True)
+class TcpHeader:
+    """20-byte TCP header (RFC 793, no options)."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int
+    window: int
+    checksum: int = 0
+    urgent: int = 0
+
+    SIZE = 20
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            "!HHIIBBHHH",
+            self.src_port, self.dst_port,
+            self.seq, self.ack,
+            (5 << 4),            # data offset (5 words), reserved bits 0
+            self.flags,
+            self.window,
+            self.checksum,
+            self.urgent,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TcpHeader":
+        if len(data) < cls.SIZE:
+            raise ProtocolError("truncated TCP header")
+        (src, dst, seq, ack, off, flags, window, cksum, urg) = struct.unpack(
+            "!HHIIBBHHH", data[:cls.SIZE]
+        )
+        if off >> 4 != 5:
+            raise ProtocolError("TCP options unsupported")
+        return cls(src, dst, seq, ack, flags, window, cksum, urg)
+
+    def with_checksum(self, src_ip: int, dst_ip: int, payload: bytes) -> bytes:
+        """Header bytes with the transport checksum filled in."""
+        raw = self.pack()
+        pseudo = pseudo_header(
+            src_ip, dst_ip, IPPROTO_TCP, self.SIZE + len(payload)
+        )
+        cksum = inet_checksum_final(pseudo + raw + payload)
+        return raw[:16] + struct.pack("!H", cksum) + raw[18:]
+
+    @staticmethod
+    def verify(src_ip: int, dst_ip: int, segment: bytes) -> bool:
+        pseudo = pseudo_header(src_ip, dst_ip, IPPROTO_TCP, len(segment))
+        return inet_checksum(pseudo + segment) == 0xFFFF
+
+    def flag_names(self) -> str:
+        names = []
+        for bit, name in ((TCP_SYN, "SYN"), (TCP_ACK, "ACK"), (TCP_FIN, "FIN"),
+                          (TCP_RST, "RST"), (TCP_PSH, "PSH")):
+            if self.flags & bit:
+                names.append(name)
+        return "|".join(names) or "none"

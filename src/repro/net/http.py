@@ -1,0 +1,88 @@
+"""A minimal HTTP/1.0 server and client over the user-level TCP.
+
+The paper lists HTTP among the protocols implemented as user-level
+libraries on top of the raw interface.  This one supports GET with
+Content-Length framing and persistent connections (enough to serve the
+examples and exercise TCP with realistic request/response traffic).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+from ..errors import ProtocolError
+from .socket_api import TcpSocket
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.process import Process
+
+__all__ = ["HttpServer", "http_get"]
+
+
+class HttpServer:
+    """Serves a static route table over one TCP connection."""
+
+    def __init__(self, sock: TcpSocket, routes: dict[str, bytes]):
+        self.sock = sock
+        self.routes = routes
+        self.requests_served = 0
+
+    def serve(self, proc: "Process", max_requests: int) -> Generator:
+        """Handle up to ``max_requests`` GETs (stops early at EOF)."""
+        for _ in range(max_requests):
+            request_line = yield from self.sock.recv_line(proc)
+            if not request_line:
+                break
+            try:
+                method, path, _version = request_line.decode().split()
+            except ValueError:
+                yield from self._respond(proc, 400, b"bad request")
+                continue
+            # drain headers
+            while True:
+                line = yield from self.sock.recv_line(proc)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if method != "GET":
+                yield from self._respond(proc, 405, b"method not allowed")
+                continue
+            body = self.routes.get(path)
+            if body is None:
+                yield from self._respond(proc, 404, b"not found")
+            else:
+                yield from self._respond(proc, 200, body)
+            self.requests_served += 1
+
+    def _respond(self, proc: "Process", status: int, body: bytes) -> Generator:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed"}.get(status, "Error")
+        head = (
+            f"HTTP/1.0 {status} {reason}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Server: repro-ash/1.0\r\n"
+            f"\r\n"
+        ).encode()
+        yield from self.sock.sendall(proc, head + body)
+
+
+def http_get(proc: "Process", sock: TcpSocket, path: str) -> Generator:
+    """Issue a GET on an established connection; returns (status, body)."""
+    request = f"GET {path} HTTP/1.0\r\nHost: repro\r\n\r\n".encode()
+    yield from sock.sendall(proc, request)
+    status_line = yield from sock.recv_line(proc)
+    parts = status_line.decode().split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise ProtocolError(f"bad status line {status_line!r}")
+    status = int(parts[1])
+    content_length = None
+    while True:
+        line = yield from sock.recv_line(proc)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        if name.strip().lower() == "content-length":
+            content_length = int(value.strip())
+    if content_length is None:
+        raise ProtocolError("response had no Content-Length")
+    body = yield from sock.recv_exact(proc, content_length)
+    return status, body

@@ -1,0 +1,203 @@
+"""A tiny NFS-flavoured RPC file service over the user-level UDP.
+
+The paper lists NFS among its user-level protocol libraries.  This is a
+compact Sun-RPC-shaped reproduction: XDR-style packing (4-byte-aligned,
+big-endian), transaction ids, and the classic stateless procedures —
+LOOKUP / GETATTR / READ / WRITE / CREATE — against an in-memory file
+store.  It exercises UDP with realistic request/response sizes and
+gives the examples a second application protocol beside HTTP.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Generator, Optional, TYPE_CHECKING
+
+from ..errors import ProtocolError
+from .udp import UdpSocket
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.process import Process
+
+__all__ = ["NfsServer", "NfsClient", "MemFs", "NfsError",
+           "NFS_OK", "NFSERR_NOENT", "NFSERR_EXIST", "NFSERR_IO"]
+
+# procedure numbers
+PROC_LOOKUP = 1
+PROC_GETATTR = 2
+PROC_READ = 3
+PROC_WRITE = 4
+PROC_CREATE = 5
+
+# status codes
+NFS_OK = 0
+NFSERR_NOENT = 2
+NFSERR_IO = 5
+NFSERR_EXIST = 17
+
+
+class NfsError(ProtocolError):
+    def __init__(self, status: int):
+        super().__init__(f"NFS error {status}")
+        self.status = status
+
+
+def _pad(data: bytes) -> bytes:
+    return data + b"\x00" * (-len(data) % 4)
+
+
+def pack_opaque(data: bytes) -> bytes:
+    return struct.pack("!I", len(data)) + _pad(data)
+
+
+def unpack_opaque(buf: bytes, off: int) -> tuple[bytes, int]:
+    (n,) = struct.unpack_from("!I", buf, off)
+    off += 4
+    data = buf[off:off + n]
+    if len(data) != n:
+        raise ProtocolError("truncated XDR opaque")
+    return data, off + n + (-n % 4)
+
+
+@dataclass
+class MemFs:
+    """The in-memory file store behind the server."""
+
+    files: dict[int, bytearray] = field(default_factory=dict)
+    names: dict[str, int] = field(default_factory=dict)
+    _next_fh: int = 1
+
+    def create(self, name: str) -> int:
+        if name in self.names:
+            raise NfsError(NFSERR_EXIST)
+        fh = self._next_fh
+        self._next_fh += 1
+        self.names[name] = fh
+        self.files[fh] = bytearray()
+        return fh
+
+    def lookup(self, name: str) -> int:
+        if name not in self.names:
+            raise NfsError(NFSERR_NOENT)
+        return self.names[name]
+
+    def read(self, fh: int, offset: int, count: int) -> bytes:
+        if fh not in self.files:
+            raise NfsError(NFSERR_NOENT)
+        return bytes(self.files[fh][offset:offset + count])
+
+    def write(self, fh: int, offset: int, data: bytes) -> int:
+        if fh not in self.files:
+            raise NfsError(NFSERR_NOENT)
+        blob = self.files[fh]
+        if offset > len(blob):
+            blob.extend(b"\x00" * (offset - len(blob)))
+        blob[offset:offset + len(data)] = data
+        return len(blob)
+
+    def size(self, fh: int) -> int:
+        if fh not in self.files:
+            raise NfsError(NFSERR_NOENT)
+        return len(self.files[fh])
+
+
+class NfsServer:
+    """Serves RPC requests arriving on a UDP socket."""
+
+    def __init__(self, sock: UdpSocket, fs: Optional[MemFs] = None):
+        self.sock = sock
+        self.fs = fs if fs is not None else MemFs()
+        self.ops_served = 0
+
+    def serve(self, proc: "Process", max_ops: int) -> Generator:
+        for _ in range(max_ops):
+            dg = yield from self.sock.recvfrom(proc)
+            reply = self._handle(dg.payload)
+            yield from self.sock.sendto(proc, reply, dg.src_ip, dg.src_port)
+            self.ops_served += 1
+
+    def _handle(self, request: bytes) -> bytes:
+        try:
+            xid, procnum = struct.unpack_from("!II", request, 0)
+        except struct.error:
+            return struct.pack("!III", 0, NFSERR_IO, 0)
+        try:
+            body = self._dispatch(procnum, request[8:])
+            return struct.pack("!II", xid, NFS_OK) + body
+        except NfsError as exc:
+            return struct.pack("!II", xid, exc.status)
+        except (ProtocolError, struct.error):
+            return struct.pack("!II", xid, NFSERR_IO)
+
+    def _dispatch(self, procnum: int, args: bytes) -> bytes:
+        fs = self.fs
+        if procnum == PROC_LOOKUP:
+            name, _ = unpack_opaque(args, 0)
+            return struct.pack("!I", fs.lookup(name.decode()))
+        if procnum == PROC_CREATE:
+            name, _ = unpack_opaque(args, 0)
+            return struct.pack("!I", fs.create(name.decode()))
+        if procnum == PROC_GETATTR:
+            (fh,) = struct.unpack_from("!I", args, 0)
+            return struct.pack("!I", fs.size(fh))
+        if procnum == PROC_READ:
+            fh, offset, count = struct.unpack_from("!III", args, 0)
+            return pack_opaque(fs.read(fh, offset, count))
+        if procnum == PROC_WRITE:
+            fh, offset = struct.unpack_from("!II", args, 0)
+            data, _ = unpack_opaque(args, 8)
+            return struct.pack("!I", fs.write(fh, offset, data))
+        raise NfsError(NFSERR_IO)
+
+
+class NfsClient:
+    """Issues RPC calls; one outstanding call at a time (like v2)."""
+
+    def __init__(self, sock: UdpSocket, server_ip: int, server_port: int):
+        self.sock = sock
+        self.server_ip = server_ip
+        self.server_port = server_port
+        self._xid = 0
+
+    def _call(self, proc: "Process", procnum: int, args: bytes) -> Generator:
+        self._xid += 1
+        xid = self._xid
+        request = struct.pack("!II", xid, procnum) + args
+        yield from self.sock.sendto(proc, request, self.server_ip,
+                                    self.server_port)
+        while True:
+            dg = yield from self.sock.recvfrom(proc)
+            got_xid, status = struct.unpack_from("!II", dg.payload, 0)
+            if got_xid != xid:
+                continue  # stale reply
+            if status != NFS_OK:
+                raise NfsError(status)
+            return dg.payload[8:]
+
+    def create(self, proc: "Process", name: str) -> Generator:
+        body = yield from self._call(proc, PROC_CREATE,
+                                     pack_opaque(name.encode()))
+        return struct.unpack_from("!I", body, 0)[0]
+
+    def lookup(self, proc: "Process", name: str) -> Generator:
+        body = yield from self._call(proc, PROC_LOOKUP,
+                                     pack_opaque(name.encode()))
+        return struct.unpack_from("!I", body, 0)[0]
+
+    def getattr(self, proc: "Process", fh: int) -> Generator:
+        body = yield from self._call(proc, PROC_GETATTR, struct.pack("!I", fh))
+        return struct.unpack_from("!I", body, 0)[0]
+
+    def read(self, proc: "Process", fh: int, offset: int, count: int) -> Generator:
+        body = yield from self._call(
+            proc, PROC_READ, struct.pack("!III", fh, offset, count)
+        )
+        data, _ = unpack_opaque(body, 0)
+        return data
+
+    def write(self, proc: "Process", fh: int, offset: int, data: bytes) -> Generator:
+        body = yield from self._call(
+            proc, PROC_WRITE, struct.pack("!II", fh, offset) + pack_opaque(data)
+        )
+        return struct.unpack_from("!I", body, 0)[0]

@@ -1,0 +1,20 @@
+"""User-level TCP (RFC 793 subset) with a downloadable fast path."""
+
+from .fastpath import build_tcp_fastpath, setup_fastpath
+from .segment import ParsedSegment, build_segment, parse_segment
+from .tcb import SharedTcb, Tcb, TcpState, seq_lt, seq_lte
+from .tcp import TcpConnection
+
+__all__ = [
+    "TcpConnection",
+    "TcpState",
+    "Tcb",
+    "SharedTcb",
+    "seq_lt",
+    "seq_lte",
+    "ParsedSegment",
+    "build_segment",
+    "parse_segment",
+    "build_tcp_fastpath",
+    "setup_fastpath",
+]

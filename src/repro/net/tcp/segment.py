@@ -1,0 +1,80 @@
+"""TCP segment build/parse helpers shared by library and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...errors import ProtocolError
+from ..headers import (
+    IPPROTO_TCP,
+    Ipv4Header,
+    TcpHeader,
+)
+from ..ip import build_packets
+
+__all__ = ["ParsedSegment", "build_segment", "parse_segment"]
+
+
+@dataclass
+class ParsedSegment:
+    """An incoming TCP segment, located within the receive buffer."""
+
+    ip: Ipv4Header
+    tcp: TcpHeader
+    #: absolute address of the start of the IP packet in node memory
+    ip_addr: int
+    #: absolute address of the payload
+    payload_addr: int
+    payload_len: int
+    payload: bytes
+
+
+def build_segment(
+    src_ip: int,
+    dst_ip: int,
+    header: TcpHeader,
+    payload: bytes = b"",
+    with_checksum: bool = True,
+    ident: int = 0,
+    mtu: int = 65535,
+) -> bytes:
+    """One full IP packet carrying the TCP segment.
+
+    TCP never fragments in this library — the MSS is always chosen
+    below the MTU — so exceeding it is a programming error.
+    """
+    if with_checksum:
+        tcp_bytes = header.with_checksum(src_ip, dst_ip, payload)
+    else:
+        tcp_bytes = header.pack()
+    packets = build_packets(
+        src_ip, dst_ip, IPPROTO_TCP, tcp_bytes + payload, mtu=mtu, ident=ident
+    )
+    if len(packets) != 1:
+        raise ProtocolError(
+            f"TCP segment of {len(payload)} bytes would fragment (MTU {mtu})"
+        )
+    return packets[0]
+
+
+def parse_segment(raw: bytes, ip_addr: int) -> ParsedSegment:
+    """Parse an IP packet containing a TCP segment."""
+    ip = Ipv4Header.unpack(raw)
+    if ip.proto != IPPROTO_TCP:
+        raise ProtocolError(f"not TCP (proto {ip.proto})")
+    tcp_off = Ipv4Header.SIZE
+    tcp = TcpHeader.unpack(raw[tcp_off:])
+    payload_off = tcp_off + TcpHeader.SIZE
+    payload_len = ip.total_length - payload_off
+    if payload_len < 0:
+        raise ProtocolError("IP total_length shorter than headers")
+    payload = raw[payload_off:payload_off + payload_len]
+    return ParsedSegment(
+        ip=ip,
+        tcp=tcp,
+        ip_addr=ip_addr,
+        payload_addr=ip_addr + payload_off,
+        payload_len=payload_len,
+        payload=payload,
+    )

@@ -1,0 +1,158 @@
+"""The transmission control block, backed by real (simulated) memory.
+
+The TCB's hot fields live in a 64-byte *shared block* in the node's
+physical memory rather than in Python attributes, because the paper's
+TCP fast-path handler runs *in the kernel* against the application's
+data structures: the ASH reads the expected sequence number, the buffer
+geometry and the checksum constants from this block, and commits its
+updates (RCV_NXT, WRITE_COUNT, SND_UNA) straight into it.  The library
+reads and writes the same bytes, so library and handler stay coherent —
+mediated by the ``LIB_BUSY`` flag exactly as Section V-B describes
+("the user-level TCP library is not currently using that Transmission
+Control Block, to avoid concurrency problems between the library and
+the handler").
+
+Slow-path-only state (connection state machine, ISS, MSS, the peer's
+advertised window) stays in Python: the handler never touches it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...hw.memory import PhysicalMemory, Region
+
+__all__ = ["TcpState", "SharedTcb", "Tcb", "seq_lt", "seq_lte", "SHARED_TCB_SIZE"]
+
+MASK32 = 0xFFFFFFFF
+
+
+def seq_lt(a: int, b: int) -> bool:
+    """a < b in sequence space (RFC 793 modular comparison)."""
+    return ((a - b) & MASK32) > 0x7FFFFFFF
+
+
+def seq_lte(a: int, b: int) -> bool:
+    return a == b or seq_lt(a, b)
+
+
+class TcpState(enum.Enum):
+    CLOSED = "closed"
+    LISTEN = "listen"
+    SYN_SENT = "syn-sent"
+    SYN_RCVD = "syn-rcvd"
+    ESTABLISHED = "established"
+    FIN_WAIT_1 = "fin-wait-1"
+    FIN_WAIT_2 = "fin-wait-2"
+    CLOSE_WAIT = "close-wait"
+    LAST_ACK = "last-ack"
+    TIME_WAIT = "time-wait"
+
+
+# shared-block field offsets (u32, little-endian: the handler is MIPS LE)
+LIB_BUSY = 0
+RCV_NXT = 4
+SND_UNA = 8
+BUF_BASE = 12
+BUF_MASK = 16
+BUF_SIZE = 20
+WRITE_COUNT = 24
+READ_COUNT = 28
+PSEUDO_IN_CONST = 32
+PSEUDO_ACK_CONST = 36
+ACK_TMPL_ADDR = 40
+REPLY_VCI = 44
+ACK_SEQ = 48
+PORTS_RAW = 52
+FASTPATH_COUNT = 56
+SHARED_TCB_SIZE = 64
+
+
+class SharedTcb:
+    """Accessor for the memory-resident shared block."""
+
+    def __init__(self, mem: PhysicalMemory, base: int):
+        self.mem = mem
+        self.base = base
+
+    def _get(self, off: int) -> int:
+        return self.mem.load_u32(self.base + off)
+
+    def _set(self, off: int, value: int) -> None:
+        self.mem.store_u32(self.base + off, value & MASK32)
+
+    # field properties ----------------------------------------------------
+    lib_busy = property(lambda s: s._get(LIB_BUSY),
+                        lambda s, v: s._set(LIB_BUSY, v))
+    rcv_nxt = property(lambda s: s._get(RCV_NXT),
+                       lambda s, v: s._set(RCV_NXT, v))
+    snd_una = property(lambda s: s._get(SND_UNA),
+                       lambda s, v: s._set(SND_UNA, v))
+    buf_base = property(lambda s: s._get(BUF_BASE),
+                        lambda s, v: s._set(BUF_BASE, v))
+    buf_mask = property(lambda s: s._get(BUF_MASK),
+                        lambda s, v: s._set(BUF_MASK, v))
+    buf_size = property(lambda s: s._get(BUF_SIZE),
+                        lambda s, v: s._set(BUF_SIZE, v))
+    write_count = property(lambda s: s._get(WRITE_COUNT),
+                           lambda s, v: s._set(WRITE_COUNT, v))
+    read_count = property(lambda s: s._get(READ_COUNT),
+                          lambda s, v: s._set(READ_COUNT, v))
+    pseudo_in_const = property(lambda s: s._get(PSEUDO_IN_CONST),
+                               lambda s, v: s._set(PSEUDO_IN_CONST, v))
+    pseudo_ack_const = property(lambda s: s._get(PSEUDO_ACK_CONST),
+                                lambda s, v: s._set(PSEUDO_ACK_CONST, v))
+    ack_tmpl_addr = property(lambda s: s._get(ACK_TMPL_ADDR),
+                             lambda s, v: s._set(ACK_TMPL_ADDR, v))
+    reply_vci = property(lambda s: s._get(REPLY_VCI),
+                         lambda s, v: s._set(REPLY_VCI, v))
+    ack_seq = property(lambda s: s._get(ACK_SEQ),
+                       lambda s, v: s._set(ACK_SEQ, v))
+    ports_raw = property(lambda s: s._get(PORTS_RAW),
+                         lambda s, v: s._set(PORTS_RAW, v))
+    fastpath_count = property(lambda s: s._get(FASTPATH_COUNT),
+                              lambda s, v: s._set(FASTPATH_COUNT, v))
+
+    @property
+    def available(self) -> int:
+        """In-order bytes buffered and not yet read by the application."""
+        return (self.write_count - self.read_count) & MASK32
+
+    @property
+    def free_space(self) -> int:
+        return self.buf_size - self.available
+
+
+@dataclass
+class Tcb:
+    """Slow-path connection state (plus a handle to the shared block)."""
+
+    local_port: int
+    remote_port: int
+    local_ip: int
+    remote_ip: int
+    shared: SharedTcb
+    state: TcpState = TcpState.CLOSED
+    iss: int = 1000           #: initial send sequence
+    irs: int = 0              #: initial receive sequence
+    snd_nxt: int = 0
+    snd_wnd: int = 8192       #: peer's advertised window
+    rcv_wnd: int = 8192       #: our advertised window
+    mss: int = 536
+    # statistics (Section V-B reports the abort rate of the fast path)
+    hdrpred_hits: int = 0
+    slow_segments: int = 0
+    acks_sent: int = 0
+    retransmits: int = 0
+    dup_acks: int = 0
+
+    @property
+    def snd_inflight(self) -> int:
+        return (self.snd_nxt - self.shared.snd_una) & MASK32
+
+    @property
+    def send_window_open(self) -> int:
+        """Bytes the window currently allows us to put in flight."""
+        return max(0, min(self.snd_wnd, self.rcv_wnd) - self.snd_inflight)

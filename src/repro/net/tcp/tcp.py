@@ -1,0 +1,648 @@
+"""User-level TCP: a library-based implementation of RFC 793.
+
+Like the paper's, this is a real-but-lean TCP: three-way handshake,
+sequence/ack bookkeeping, a fixed-size window (8 Kbytes in the
+benchmarks, "to ensure experiment repeatability"), header prediction on
+the receive path, go-back-N retransmission on a coarse timer, and a
+simplified close.  "We stress that the TCP implementation is not fully
+TCP compliant (it lacks support for fluent internetworking such as fast
+retransmit, fast recovery, and good buffering strategies)."
+
+The configuration knobs map to Table II's rows:
+
+* ``checksum=False`` — rely on the AN2 CRC;
+* ``in_place=True`` — data is used where it landed: the library charges
+  no copy when placing payload (otherwise one copy network buffer ->
+  receive ring, the paper's "additional copy between the network and
+  application data structures");
+* ``interrupt_driven`` — block on the ring instead of polling.
+
+The receive fast path can be hoisted into the kernel:
+:meth:`TcpConnection.install_fastpath` downloads the VCODE handler from
+:mod:`repro.net.tcp.fastpath` as an ASH or registers it as an upcall,
+reproducing Table VI's five columns.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Optional, TYPE_CHECKING
+
+from ...ash.interface import AshNotification
+from ...errors import ProtocolError, SocketError
+from ...hw.nic.base import RxDescriptor
+from ...kernel.dpf import Predicate
+from ...kernel.upcall import UpcallHandler
+from ...sim.units import us
+from ..checksum import le_word_sum
+from ..headers import (
+    ETHERTYPE_IP,
+    IPPROTO_TCP,
+    Ipv4Header,
+    TCP_ACK,
+    TCP_FIN,
+    TCP_PSH,
+    TCP_RST,
+    TCP_SYN,
+    TcpHeader,
+    pseudo_header,
+)
+from ..stack import NetStack
+from .segment import ParsedSegment, build_segment, parse_segment
+from .tcb import MASK32, SharedTcb, SHARED_TCB_SIZE, Tcb, TcpState, seq_lt, seq_lte
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...kernel.process import Process
+
+__all__ = ["TcpConnection"]
+
+#: default retransmission timeout (coarse, as in 1990s BSD stacks);
+#: override per connection with ``rto_us=``
+RTO_US = 50_000.0
+#: handshake retry limit
+MAX_SYN_TRIES = 5
+#: consecutive no-progress retransmission rounds before giving up
+MAX_REXMIT_ROUNDS = 30
+
+
+class TcpConnection:
+    """One TCP connection endpoint."""
+
+    def __init__(
+        self,
+        stack: NetStack,
+        local_port: int,
+        remote_ip: int,
+        remote_port: int,
+        rx_vci: Optional[int] = None,
+        checksum: bool = True,
+        in_place: bool = False,
+        mss: Optional[int] = None,
+        window: int = 8192,
+        recv_buf_size: int = 65536,
+        interrupt_driven: bool = False,
+        iss: int = 1000,
+        rto_us: float = RTO_US,
+        name: Optional[str] = None,
+    ):
+        if recv_buf_size & (recv_buf_size - 1):
+            raise SocketError("recv_buf_size must be a power of two")
+        self.stack = stack
+        self.kernel = stack.kernel
+        self.cal = stack.kernel.cal
+        self.checksum = checksum
+        self.in_place = in_place
+        self.interrupt_driven = interrupt_driven
+        self.rto_us = rto_us
+        self.handler_mode: Optional[str] = None
+        name = name or f"tcp{local_port}"
+        self.name = name
+
+        if mss is None:
+            mss = (self.cal.an2_mtu if stack.is_an2 else self.cal.eth_mtu) - 40
+            # the paper uses round MSS values: 3072 on AN2, 1500-40 on eth
+            if stack.is_an2:
+                mss = self.cal.an2_mtu
+        self._dst_mac: Optional[bytes] = None
+
+        mem = self.kernel.node.memory
+        shared_region = mem.alloc(f"{name}.shared", SHARED_TCB_SIZE)
+        self._ring_region = mem.alloc(f"{name}.ring", recv_buf_size)
+        self._tmpl_region = mem.alloc(f"{name}.acktmpl", 64)
+        self._staging = mem.alloc(f"{name}.staging", 128 * 1024)
+        self._app_out = mem.alloc(f"{name}.appout", 64 * 1024)
+
+        shared = SharedTcb(mem, shared_region.base)
+        shared.buf_base = self._ring_region.base
+        shared.buf_mask = recv_buf_size - 1
+        shared.buf_size = recv_buf_size
+        self.tcb = Tcb(
+            local_port=local_port,
+            remote_port=remote_port,
+            local_ip=stack.ip,
+            remote_ip=remote_ip,
+            shared=shared,
+            iss=iss,
+            rcv_wnd=window,
+            snd_wnd=window,
+            mss=mss,
+        )
+        self._unacked: deque[tuple[int, bytes]] = deque()  # (seq, payload)
+        self._last_send_ticks = 0
+        self._inplace_spans: deque[tuple[int, int]] = deque()
+        self.peer_fin = False
+
+        if stack.is_an2:
+            if rx_vci is None:
+                raise SocketError("AN2 TCP connections need an rx_vci")
+            # "the TCP implementation uses the virtual circuit identifier
+            # and the ports in the protocol header to demultiplex"
+            self.endpoint = self.kernel.create_endpoint_an2(
+                stack.nic, rx_vci, name=name, buf_size=self.cal.an2_max_packet,
+            )
+        else:
+            self.endpoint = self.kernel.create_endpoint_eth(
+                stack.nic,
+                [
+                    Predicate(offset=12, size=2, value=ETHERTYPE_IP),
+                    Predicate(offset=14 + 9, size=1, value=IPPROTO_TCP),
+                    Predicate(offset=14 + 20 + 2, size=2, value=local_port),
+                ],
+                name=name,
+            )
+
+    # ------------------------------------------------------------------
+    # connection establishment
+    # ------------------------------------------------------------------
+    def connect(self, proc: "Process") -> Generator:
+        """Active open: SYN -> SYN+ACK -> ACK."""
+        tcb = self.tcb
+        sh = tcb.shared
+        self.endpoint.owner = proc
+        if not self.stack.is_an2:
+            self._dst_mac = yield from self.stack.resolve_mac(
+                proc, tcb.remote_ip
+            )
+        tcb.state = TcpState.SYN_SENT
+        tcb.snd_nxt = tcb.iss
+        sh.snd_una = tcb.iss
+        for _try in range(MAX_SYN_TRIES):
+            yield from self._send_flags(proc, TCP_SYN, seq=tcb.iss, ack=0)
+            got = yield from self._pump(proc, timeout_us=self.rto_us)
+            if got and tcb.state is TcpState.ESTABLISHED:
+                return
+            while tcb.state is not TcpState.ESTABLISHED:
+                got = yield from self._pump(proc, timeout_us=self.rto_us)
+                if not got:
+                    break
+            if tcb.state is TcpState.ESTABLISHED:
+                return
+        raise ProtocolError(f"{self.name}: connect timed out")
+
+    def accept(self, proc: "Process") -> Generator:
+        """Passive open: wait for SYN, answer SYN+ACK, await the ACK."""
+        tcb = self.tcb
+        self.endpoint.owner = proc
+        tcb.state = TcpState.LISTEN
+        while tcb.state is not TcpState.ESTABLISHED:
+            got = yield from self._pump(proc, timeout_us=self.rto_us)
+            if not got and tcb.state is TcpState.SYN_RCVD:
+                # retransmit our SYN+ACK
+                yield from self._send_flags(
+                    proc, TCP_SYN | TCP_ACK, seq=tcb.iss, ack=tcb.shared.rcv_nxt
+                )
+
+    # ------------------------------------------------------------------
+    # data transfer
+    # ------------------------------------------------------------------
+    def write(self, proc: "Process", data: bytes) -> Generator:
+        """Synchronous send: returns once every byte is acknowledged
+        ("the write call is synchronous — write waits for an
+        acknowledgment before returning")."""
+        tcb = self.tcb
+        sh = tcb.shared
+        if tcb.state is not TcpState.ESTABLISHED:
+            raise SocketError(f"{self.name}: write on {tcb.state.value}")
+        target = (tcb.snd_nxt + len(data)) & MASK32
+        offset = 0
+        stale_rounds = 0
+        last_una = sh.snd_una
+        while seq_lt(sh.snd_una, target):
+            sh.lib_busy = 1
+            # fill the window
+            while offset < len(data):
+                chunk = min(tcb.mss, len(data) - offset, tcb.send_window_open)
+                if chunk <= 0:
+                    break
+                payload = data[offset:offset + chunk]
+                push = offset + chunk >= len(data)
+                yield from self._send_data(proc, payload, push)
+                offset += chunk
+            sh.lib_busy = 0
+            if not seq_lt(sh.snd_una, target):
+                break
+            got = yield from self._pump(proc, timeout_us=self.rto_us)
+            if not got:
+                yield from self._retransmit(proc)
+            if sh.snd_una == last_una:
+                stale_rounds += 1
+                if stale_rounds > MAX_REXMIT_ROUNDS:
+                    raise ProtocolError(
+                        f"{self.name}: peer unresponsive "
+                        f"({MAX_REXMIT_ROUNDS} retransmission rounds with "
+                        f"no acknowledgment progress)"
+                    )
+            else:
+                stale_rounds = 0
+                last_una = sh.snd_una
+        yield from proc.compute_us(self.cal.tcp_sync_write_us)
+
+    def read(self, proc: "Process", n: int) -> Generator:
+        """Read exactly ``n`` bytes (fewer only at EOF)."""
+        tcb = self.tcb
+        sh = tcb.shared
+        mem = self.kernel.node.memory
+        out = bytearray()
+        while len(out) < n:
+            avail = sh.available
+            if avail:
+                sh.lib_busy = 1
+                take = min(avail, n - len(out))
+                pos = sh.read_count & sh.buf_mask
+                first = min(take, sh.buf_size - pos)
+                out += mem.read(sh.buf_base + pos, first)
+                if take > first:
+                    out += mem.read(sh.buf_base, take - first)
+                sh.read_count = (sh.read_count + take) & MASK32
+                sh.lib_busy = 0
+                if not self.in_place and self.handler_mode is None:
+                    # the read-interface copy into application data
+                    # structures (skipped "in place", and when a handler
+                    # already placed the data in the right place)
+                    dst = self._app_out.base
+                    cycles = self.stack.datapath.copy(
+                        sh.buf_base + pos, dst, min(first, self._app_out.size)
+                    )
+                    if take > first:
+                        cycles += self.stack.datapath.copy(
+                            sh.buf_base, dst,
+                            min(take - first, self._app_out.size),
+                        )
+                    yield from proc.compute(cycles)
+                yield from proc.compute_us(self.cal.tcp_read_wakeup_us)
+                continue
+            if self.peer_fin:
+                break
+            got = yield from self._pump(proc, timeout_us=self.rto_us)
+            if not got:
+                yield from self._retransmit(proc)
+        return bytes(out)
+
+    def linger(self, proc: "Process", duration_us: float = 100_000.0) -> Generator:
+        """Keep servicing the connection for a while after the
+        application is done with it.
+
+        A user-level TCP has no kernel socket to answer late
+        retransmissions once the process stops calling read/write; this
+        is the TIME_WAIT-ish tail that acknowledges a peer whose final
+        ack was lost.
+        """
+        engine = proc.engine
+        deadline = engine.now + us(duration_us)
+        while engine.now < deadline:
+            remaining = (deadline - engine.now) / us(1.0)
+            got = yield from self._pump(proc, timeout_us=remaining)
+            if not got:
+                return
+
+    def close(self, proc: "Process") -> Generator:
+        """Simplified close: FIN, await its ack (and ack the peer's)."""
+        tcb = self.tcb
+        sh = tcb.shared
+        if tcb.state is not TcpState.ESTABLISHED:
+            return
+        tcb.state = TcpState.FIN_WAIT_1
+        fin_seq = tcb.snd_nxt
+        yield from self._send_flags(
+            proc, TCP_FIN | TCP_ACK, seq=fin_seq, ack=sh.rcv_nxt
+        )
+        tcb.snd_nxt = (tcb.snd_nxt + 1) & MASK32
+        sh.ack_seq = tcb.snd_nxt
+        deadline = 10
+        while seq_lt(sh.snd_una, tcb.snd_nxt) and deadline > 0:
+            got = yield from self._pump(proc, timeout_us=self.rto_us)
+            if not got:
+                deadline -= 1
+                yield from self._send_flags(
+                    proc, TCP_FIN | TCP_ACK, seq=fin_seq, ack=sh.rcv_nxt
+                )
+        tcb.state = TcpState.CLOSED
+
+    # ------------------------------------------------------------------
+    # the receive pump
+    # ------------------------------------------------------------------
+    def _pump(self, proc: "Process", timeout_us: Optional[float] = None) -> Generator:
+        """Wait for one network event and process it.
+
+        Returns True if an event was handled, False on timeout.
+        """
+        if timeout_us is None:
+            timeout_us = self.rto_us
+        ring = self.endpoint.ring
+        kernel = self.kernel
+        engine = proc.engine
+        if self.interrupt_driven:
+            ok, item = ring.try_get()
+            if not ok:
+                get_ev = ring.get()
+                timeout = engine.timeout(us(timeout_us))
+                result = yield from proc.block_on(
+                    engine.any_of([get_ev, timeout])
+                )
+                if get_ev in result:
+                    item = result[get_ev]
+                else:
+                    ring.cancel_get(get_ev)
+                    return False
+        else:
+            # Polling receiver, modelled event-driven (see Process.poll):
+            # discovery happens one poll-check after arrival, while
+            # scheduled.
+            ok, item = ring.try_get()
+            if not ok:
+                get_ev = ring.get()
+                timeout = engine.timeout(us(timeout_us))
+                result = yield from proc.block_on(
+                    engine.any_of([get_ev, timeout])
+                )
+                if get_ev in result:
+                    item = result[get_ev]
+                else:
+                    ring.cancel_get(get_ev)
+                    return False
+            yield from proc.compute_us(self.cal.poll_check_us)
+        if isinstance(item, AshNotification):
+            # data/acks were handled in the kernel; we were only woken
+            yield from proc.compute_us(2.0)
+            return True
+        yield from proc.compute_us(self.cal.user_recv_path_us)
+        yield from self._process_desc(proc, item)
+        return True
+
+    def _process_desc(self, proc: "Process", desc: RxDescriptor) -> Generator:
+        tcb = self.tcb
+        sh = tcb.shared
+        cal = self.cal
+        mem = self.kernel.node.memory
+        sh.lib_busy = 1
+        try:
+            ip_addr, ip_len = self.stack.ip_payload_view(desc)
+            raw = mem.read(ip_addr, ip_len)
+            try:
+                seg = parse_segment(raw, ip_addr)
+            except ProtocolError:
+                yield from proc.compute_us(cal.tcp_recv_slow_us)
+                return
+            if (seg.tcp.dst_port != tcb.local_port
+                    or seg.tcp.src_port != tcb.remote_port):
+                return  # not this connection's segment
+
+            predicted = (
+                tcb.state is TcpState.ESTABLISHED
+                and seg.tcp.flags in (TCP_ACK, TCP_ACK | TCP_PSH)
+                and seg.tcp.seq == sh.rcv_nxt
+            )
+            if predicted:
+                tcb.hdrpred_hits += 1
+                yield from proc.compute_us(cal.tcp_recv_hdrpred_us)
+            else:
+                tcb.slow_segments += 1
+                yield from proc.compute_us(cal.tcp_recv_slow_us)
+
+            if self.checksum and seg.tcp.checksum:
+                _, cycles = self.stack.datapath.checksum(
+                    ip_addr + Ipv4Header.SIZE, ip_len - Ipv4Header.SIZE
+                )
+                yield from proc.compute(cycles)
+                yield from proc.compute_us(cal.cksum_fixed_us)
+                tcp_and_payload = raw[Ipv4Header.SIZE:seg.ip.total_length]
+                if not TcpHeader.verify(seg.ip.src, seg.ip.dst, tcp_and_payload):
+                    return  # corrupt: drop silently, timer recovers
+
+            yield from self._segment_arrived(proc, seg)
+        finally:
+            sh.lib_busy = 0
+            yield from self.kernel.sys_replenish(proc, self.endpoint, desc)
+
+    def _segment_arrived(self, proc: "Process", seg: ParsedSegment) -> Generator:
+        tcb = self.tcb
+        sh = tcb.shared
+        flags = seg.tcp.flags
+        state = tcb.state
+
+        if flags & TCP_RST:
+            tcb.state = TcpState.CLOSED
+            return
+
+        # -- handshake states -------------------------------------------
+        if state is TcpState.LISTEN and flags & TCP_SYN:
+            tcb.irs = seg.tcp.seq
+            sh.rcv_nxt = (seg.tcp.seq + 1) & MASK32
+            tcb.snd_nxt = tcb.iss
+            sh.snd_una = tcb.iss
+            tcb.state = TcpState.SYN_RCVD
+            yield from self._send_flags(
+                proc, TCP_SYN | TCP_ACK, seq=tcb.iss, ack=sh.rcv_nxt
+            )
+            tcb.snd_nxt = (tcb.iss + 1) & MASK32
+            sh.ack_seq = tcb.snd_nxt
+            return
+        if state is TcpState.SYN_SENT and flags & TCP_SYN and flags & TCP_ACK:
+            if seg.tcp.ack != (tcb.iss + 1) & MASK32:
+                return
+            tcb.irs = seg.tcp.seq
+            sh.rcv_nxt = (seg.tcp.seq + 1) & MASK32
+            tcb.snd_nxt = (tcb.iss + 1) & MASK32
+            sh.snd_una = tcb.snd_nxt
+            sh.ack_seq = tcb.snd_nxt
+            tcb.snd_wnd = seg.tcp.window
+            tcb.state = TcpState.ESTABLISHED
+            yield from self._send_ack(proc)
+            return
+        if state is TcpState.SYN_RCVD and flags & TCP_ACK and not flags & TCP_SYN:
+            if seg.tcp.ack == (tcb.iss + 1) & MASK32:
+                sh.snd_una = seg.tcp.ack
+                tcb.snd_wnd = seg.tcp.window
+                tcb.state = TcpState.ESTABLISHED
+            # fall through: the segment may carry data too
+
+        # -- established-path ACK bookkeeping -----------------------------
+        if flags & TCP_ACK:
+            ack = seg.tcp.ack
+            if seq_lt(sh.snd_una, ack) and seq_lte(ack, tcb.snd_nxt):
+                sh.snd_una = ack
+                while self._unacked and seq_lte(
+                    (self._unacked[0][0] + len(self._unacked[0][1])) & MASK32,
+                    ack,
+                ):
+                    self._unacked.popleft()
+            tcb.snd_wnd = seg.tcp.window
+
+        # -- data ----------------------------------------------------------
+        if seg.payload_len:
+            yield from self._accept_data(proc, seg)
+
+        # -- FIN ----------------------------------------------------------
+        if flags & TCP_FIN and seg.tcp.seq == sh.rcv_nxt or (
+            flags & TCP_FIN and seg.payload_len
+            and (seg.tcp.seq + seg.payload_len) & MASK32 == sh.rcv_nxt
+        ):
+            sh.rcv_nxt = (sh.rcv_nxt + 1) & MASK32
+            self.peer_fin = True
+            if tcb.state is TcpState.ESTABLISHED:
+                tcb.state = TcpState.CLOSE_WAIT
+            yield from self._send_ack(proc)
+            # answer with our own FIN immediately (simplified close)
+            if tcb.state is TcpState.CLOSE_WAIT:
+                fin_seq = tcb.snd_nxt
+                yield from self._send_flags(
+                    proc, TCP_FIN | TCP_ACK, seq=fin_seq, ack=sh.rcv_nxt
+                )
+                tcb.snd_nxt = (tcb.snd_nxt + 1) & MASK32
+                sh.ack_seq = tcb.snd_nxt
+                tcb.state = TcpState.LAST_ACK
+
+    def _accept_data(self, proc: "Process", seg: ParsedSegment) -> Generator:
+        """Place in-order payload into the receive ring and ack it."""
+        tcb = self.tcb
+        sh = tcb.shared
+        mem = self.kernel.node.memory
+        seq = seg.tcp.seq
+        payload = seg.payload
+        src_addr = seg.payload_addr
+
+        if seq != sh.rcv_nxt:
+            # old duplicate or out-of-order: trim or drop, duplicate-ack
+            offset = (sh.rcv_nxt - seq) & MASK32
+            if 0 < offset < seg.payload_len:
+                payload = payload[offset:]
+                src_addr += offset
+                seq = sh.rcv_nxt
+            else:
+                tcb.dup_acks += 1
+                yield from self._send_ack(proc)
+                return
+        if sh.free_space < len(payload):
+            # no room: drop; the sender's timer will retry
+            yield from self._send_ack(proc)
+            return
+
+        pos = sh.write_count & sh.buf_mask
+        first = min(len(payload), sh.buf_size - pos)
+        mem.write(sh.buf_base + pos, payload[:first])
+        if len(payload) > first:
+            mem.write(sh.buf_base, payload[first:])
+        # The buffering copy out of the network buffer is unavoidable in
+        # the library path ("the data that is piggybacked on the
+        # acknowledgment has to be buffered until the client calls read,
+        # which leads to an additional copy in our current
+        # implementation").  The ASH fast path fuses it with the
+        # checksum; here it is a separate traversal.
+        cycles = self.stack.datapath.copy(src_addr, sh.buf_base + pos, first)
+        if len(payload) > first:
+            cycles += self.stack.datapath.copy(
+                src_addr + first, sh.buf_base, len(payload) - first
+            )
+        yield from proc.compute(cycles)
+        sh.write_count = (sh.write_count + len(payload)) & MASK32
+        sh.rcv_nxt = (seq + len(payload)) & MASK32
+        yield from self._send_ack(proc)
+
+    # ------------------------------------------------------------------
+    # transmit helpers
+    # ------------------------------------------------------------------
+    def _frame_and_send(self, proc: "Process", packet: bytes) -> Generator:
+        frame = self.stack.frame_for(self.tcb.remote_ip, packet, self._dst_mac)
+        yield from self.kernel.sys_net_send(proc, self.stack.nic, frame)
+        self._last_send_ticks = proc.engine.now
+
+    def _send_data(self, proc: "Process", payload: bytes, push: bool,
+                   seq: Optional[int] = None, rexmit: bool = False) -> Generator:
+        tcb = self.tcb
+        sh = tcb.shared
+        cal = self.cal
+        mem = self.kernel.node.memory
+        yield from proc.compute_us(cal.tcp_send_build_us + cal.ip_process_us)
+        if seq is None:
+            seq = tcb.snd_nxt
+        # stage the payload where checksumming/retransmission can see it;
+        # this is the write-interface copy from application structures
+        # into the socket buffer (paid in every Table II configuration)
+        stage = self._staging.base + (seq % (self._staging.size - tcb.mss))
+        yield from proc.compute(
+            self.stack.datapath.copy_in(stage, payload)
+        )
+        if self.checksum:
+            _, cycles = self.stack.datapath.checksum(stage, len(payload))
+            yield from proc.compute(cycles)
+            yield from proc.compute_us(cal.cksum_fixed_us)
+        header = TcpHeader(
+            src_port=tcb.local_port, dst_port=tcb.remote_port,
+            seq=seq, ack=sh.rcv_nxt,
+            flags=TCP_ACK | (TCP_PSH if push else 0),
+            window=tcb.rcv_wnd,
+        )
+        packet = build_segment(
+            tcb.local_ip, tcb.remote_ip, header, payload,
+            with_checksum=self.checksum,
+            ident=self.stack.next_ident(), mtu=self.stack.mtu + 40,
+        )
+        yield from self._frame_and_send(proc, packet)
+        if not rexmit:
+            self._unacked.append((seq, payload))
+            tcb.snd_nxt = (seq + len(payload)) & MASK32
+            sh.ack_seq = tcb.snd_nxt
+
+    def _send_flags(self, proc: "Process", flags: int, seq: int,
+                    ack: int) -> Generator:
+        tcb = self.tcb
+        yield from proc.compute_us(
+            self.cal.tcp_send_build_us + self.cal.ip_process_us
+        )
+        header = TcpHeader(
+            src_port=tcb.local_port, dst_port=tcb.remote_port,
+            seq=seq, ack=ack, flags=flags, window=tcb.rcv_wnd,
+        )
+        packet = build_segment(
+            tcb.local_ip, tcb.remote_ip, header, b"",
+            with_checksum=self.checksum, ident=self.stack.next_ident(),
+            mtu=self.stack.mtu + 40,
+        )
+        yield from self._frame_and_send(proc, packet)
+
+    def _send_ack(self, proc: "Process") -> Generator:
+        tcb = self.tcb
+        yield from proc.compute_us(self.cal.tcp_ack_build_us)
+        header = TcpHeader(
+            src_port=tcb.local_port, dst_port=tcb.remote_port,
+            seq=tcb.snd_nxt, ack=tcb.shared.rcv_nxt,
+            flags=TCP_ACK, window=tcb.rcv_wnd,
+        )
+        packet = build_segment(
+            tcb.local_ip, tcb.remote_ip, header, b"",
+            with_checksum=self.checksum, ident=self.stack.next_ident(),
+            mtu=self.stack.mtu + 40,
+        )
+        yield from self._frame_and_send(proc, packet)
+        tcb.acks_sent += 1
+
+    def _retransmit(self, proc: "Process") -> Generator:
+        """Go-back-N: resend everything unacknowledged."""
+        if not self._unacked:
+            return
+        self.tcb.retransmits += 1
+        for seq, payload in list(self._unacked):
+            yield from self._send_data(
+                proc, payload, push=True, seq=seq, rexmit=True
+            )
+
+    # ------------------------------------------------------------------
+    # the kernel fast path (Table VI)
+    # ------------------------------------------------------------------
+    def install_fastpath(self, kind: str = "ash", sandbox: bool = True) -> None:
+        """Hoist the receive fast path into a handler.
+
+        ``kind`` is ``"ash"`` (downloaded into the kernel; ``sandbox``
+        selects the safe or the unsafe variant) or ``"upcall"``.
+        Call after the connection is established.
+        """
+        from .fastpath import setup_fastpath  # local: fastpath imports tcb
+
+        if self.tcb.state is not TcpState.ESTABLISHED:
+            raise SocketError("install the fast path after establishment")
+        setup_fastpath(self, kind=kind, sandbox=sandbox)
+        self.handler_mode = kind
+
+    @property
+    def fastpath_hits(self) -> int:
+        return self.tcb.shared.fastpath_count

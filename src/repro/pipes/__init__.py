@@ -1,0 +1,50 @@
+"""Dynamic integrated layer processing: pipes, pipe lists, the compiler."""
+
+from .compiler import (
+    Interface,
+    IntegratedPipeline,
+    PIPE_INPLACE,
+    PIPE_READ,
+    PIPE_WRITE,
+    TransferMode,
+    compile_pl,
+)
+from .library import (
+    mk_bswap16_pipe,
+    mk_byteswap_pipe,
+    mk_cksum_pipe,
+    mk_identity_pipe,
+    mk_xor_pipe,
+)
+from .pipe import (
+    P_COMMUTATIVE,
+    P_GAUGE8,
+    P_GAUGE16,
+    P_GAUGE32,
+    P_NO_MOD,
+    Pipe,
+)
+from .pipelist import PipeList, pipel
+
+__all__ = [
+    "Interface",
+    "IntegratedPipeline",
+    "PIPE_INPLACE",
+    "PIPE_READ",
+    "PIPE_WRITE",
+    "TransferMode",
+    "compile_pl",
+    "mk_bswap16_pipe",
+    "mk_byteswap_pipe",
+    "mk_cksum_pipe",
+    "mk_identity_pipe",
+    "mk_xor_pipe",
+    "P_COMMUTATIVE",
+    "P_GAUGE8",
+    "P_GAUGE16",
+    "P_GAUGE32",
+    "P_NO_MOD",
+    "Pipe",
+    "PipeList",
+    "pipel",
+]

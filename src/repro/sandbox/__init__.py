@@ -1,0 +1,17 @@
+"""Safety machinery: static verification, SFI rewriting, budgets."""
+
+from .budget import BudgetPolicy, budget_cycles, straightline_cycle_bound
+from .rewriter import SandboxPolicy, SandboxReport, Sandboxer
+from .verifier import VerifyReport, has_loops, verify
+
+__all__ = [
+    "BudgetPolicy",
+    "budget_cycles",
+    "straightline_cycle_bound",
+    "SandboxPolicy",
+    "SandboxReport",
+    "Sandboxer",
+    "VerifyReport",
+    "has_loops",
+    "verify",
+]

@@ -1,0 +1,53 @@
+"""Execution-time bounding strategies for handlers.
+
+Section III-B3 describes three approaches, all implemented here:
+
+1. **Static estimation** for loop-free handlers: "we can simply
+   overestimate the effects of straight-line code to create overly
+   pessimistic, but simple to implement estimations of execution time."
+2. **Back-edge software checks** "at all backward jump locations" for
+   handlers with loops (inserted by the rewriter as ``chkbudget``).
+3. **Timers**: "Our prototype uses the third approach, aborting any ASH
+   that attempts to use two clock ticks worth of time or more."  Timer
+   setup and teardown cost about one microsecond each.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..hw.calibration import Calibration
+from ..vcode.isa import Program, insn_cost
+
+__all__ = ["BudgetPolicy", "straightline_cycle_bound", "budget_cycles"]
+
+
+class BudgetPolicy(enum.Enum):
+    """How runtime is bounded for a downloaded handler."""
+
+    #: loop-free only: prove a static bound at download time, no runtime cost
+    STATIC_ESTIMATE = "static"
+    #: insert software checks at backward branches
+    BACKEDGE_CHECKS = "backedge"
+    #: arm a hardware timer around the invocation (the paper's prototype)
+    TIMER = "timer"
+
+
+def straightline_cycle_bound(program: Program, cal: Calibration) -> int:
+    """Pessimistic cycle bound for a loop-free program.
+
+    Every instruction is assumed executed (no branch is taken early-out)
+    and every load is assumed to miss — deliberately "overly
+    pessimistic, but simple".
+    """
+    bound = 0
+    for insn in program.insns:
+        bound += insn_cost(insn, cal)
+        if insn.op in ("ld8", "ld16", "ld32"):
+            bound += cal.miss_penalty_cycles
+    return bound
+
+
+def budget_cycles(cal: Calibration) -> int:
+    """The timer budget: two clock ticks, expressed in cycles."""
+    return cal.us_to_cycles(cal.ash_budget_ticks * cal.tick_us)

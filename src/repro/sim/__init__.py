@@ -1,0 +1,22 @@
+"""Deterministic discrete-event simulation substrate."""
+
+from .engine import AllOf, AnyOf, Engine, Event, Interrupt, SimProcess, Timeout
+from .queues import Channel, Gate, PriorityLock
+from .trace import TraceRecord, Tracer
+from . import units
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Event",
+    "Interrupt",
+    "SimProcess",
+    "Timeout",
+    "Channel",
+    "Gate",
+    "PriorityLock",
+    "TraceRecord",
+    "Tracer",
+    "units",
+]

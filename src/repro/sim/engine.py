@@ -1,0 +1,375 @@
+"""Deterministic discrete-event simulation engine.
+
+This is the substrate every other subsystem runs on: the modelled CPUs,
+NICs, wires, kernels, protocol libraries and benchmark workloads are all
+*simulation processes* — plain Python generators that ``yield`` events —
+scheduled by a single :class:`Engine` with an integer picosecond clock.
+
+The design follows the classic event/process style (as in SimPy) but is
+intentionally small, dependency-free and strictly deterministic:
+
+* events scheduled for the same tick fire in scheduling order (a
+  monotonically increasing sequence number breaks ties),
+* there is no wall-clock anywhere; re-running a workload reproduces the
+  exact same event trace.
+
+Example
+-------
+>>> eng = Engine()
+>>> def hello(eng):
+...     yield eng.sleep(10)
+...     return eng.now
+>>> proc = eng.spawn(hello(eng))
+>>> eng.run()
+>>> proc.value
+10
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import SimError
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "SimProcess",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`SimProcess.interrupt`.
+
+    The ASH runtime uses this to model the paper's two-clock-tick timer
+    abort: the kernel interrupts the handler process mid-execution.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    triggers it exactly once, resuming every waiting process during the
+    same simulation tick.
+    """
+
+    __slots__ = ("engine", "name", "_value", "_exc", "_state", "_callbacks")
+
+    _PENDING = 0
+    _TRIGGERED = 1
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.name = name
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._state = Event._PENDING
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._state == Event._TRIGGERED
+
+    @property
+    def ok(self) -> bool:
+        """True once the event succeeded (as opposed to failed)."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimError(f"event {self.name!r} has not triggered yet")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimError(f"event {self.name!r} already triggered")
+        self._value = value
+        self._state = Event._TRIGGERED
+        self.engine._ready(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self.triggered:
+            raise SimError(f"event {self.name!r} already triggered")
+        self._exc = exc
+        self._state = Event._TRIGGERED
+        self.engine._ready(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event triggers (immediately if done)."""
+        if self.triggered:
+            # Already dispatched: deliver through the scheduler so late
+            # listeners still run, without recursing into the caller.
+            self.engine._schedule(self.engine.now, fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def remove_callback(self, fn: Callable[["Event"], None]) -> None:
+        try:
+            self._callbacks.remove(fn)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimError(f"negative timeout: {delay}")
+        super().__init__(engine, name=f"timeout({delay})")
+        self.delay = int(delay)
+        engine._schedule(engine.now + self.delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        if not self.triggered:  # may have been cancelled
+            self.succeed(value)
+
+    def cancel(self) -> None:
+        """Neutralise the timeout; it will never trigger."""
+        if not self.triggered:
+            self._state = Event._TRIGGERED
+            self._callbacks.clear()
+
+
+class _ConditionBase(Event):
+    __slots__ = ("events",)
+
+    def __init__(self, engine: "Engine", events: Iterable[Event], name: str):
+        super().__init__(engine, name=name)
+        self.events = list(events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _results(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events if ev.ok}
+
+    def _check(self, ev: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_ConditionBase):
+    """Triggers as soon as any child event triggers.
+
+    The value is a dict mapping the already-triggered events to their
+    values; failures propagate.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine, events, name="any_of")
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc)
+        else:
+            self.succeed(self._results())
+
+
+class AllOf(_ConditionBase):
+    """Triggers once every child event has triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine, events, name="all_of")
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc)
+        elif all(e.triggered for e in self.events):
+            self.succeed(self._results())
+
+
+SimGenerator = Generator[Event, Any, Any]
+
+
+class SimProcess(Event):
+    """A running simulation process.
+
+    Wraps a generator that yields :class:`Event` objects.  The process is
+    itself an event: it triggers when the generator returns, with the
+    generator's return value.  Other processes may therefore ``yield`` a
+    process to join it.
+    """
+
+    __slots__ = ("gen", "_waiting_on", "_interrupts")
+
+    def __init__(self, engine: "Engine", gen: SimGenerator, name: str = ""):
+        super().__init__(engine, name=name or getattr(gen, "__name__", "proc"))
+        self.gen = gen
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: list[Interrupt] = []
+        engine._schedule(engine.now, self._resume, None, None)
+
+    @property
+    def alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current tick."""
+        if not self.alive:
+            return
+        self._interrupts.append(Interrupt(cause))
+        # Detach from whatever we were waiting on and resume immediately.
+        if self._waiting_on is not None:
+            self._waiting_on.remove_callback(self._on_event)
+            self._waiting_on = None
+        self.engine._schedule(self.engine.now, self._deliver_interrupt)
+
+    def _deliver_interrupt(self) -> None:
+        if not self.alive or not self._interrupts:
+            return
+        exc = self._interrupts.pop(0)
+        self._step(lambda: self.gen.throw(exc))
+
+    def _on_event(self, ev: Event) -> None:
+        if not self.alive:
+            return
+        self._waiting_on = None
+        if ev._exc is not None:
+            exc = ev._exc
+            self._step(lambda: self.gen.throw(exc))
+        else:
+            self._resume(ev._value, None)
+
+    def _resume(self, value: Any, _unused: Any = None) -> None:
+        if not self.alive:
+            return
+        self._step(lambda: self.gen.send(value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An unhandled interrupt terminates the process quietly: the
+            # interruptor is responsible for any cleanup semantics.
+            self.succeed(None)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            self.engine._crashed(self, exc)
+            return
+        if not isinstance(target, Event):
+            exc = SimError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event objects (use engine.sleep for delays)"
+            )
+            self.fail(exc)
+            self.engine._crashed(self, exc)
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+
+class Engine:
+    """The discrete-event scheduler: a heap of timestamped callbacks."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._heap: list[tuple[int, int, Callable, tuple]] = []
+        self._crashes: list[tuple[SimProcess, BaseException]] = []
+
+    # -- clock ---------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in integer ticks (picoseconds)."""
+        return self._now
+
+    # -- event construction --------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    # ``sleep`` reads better in process code than ``timeout``.
+    sleep = timeout
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def spawn(self, gen: SimGenerator, name: str = "") -> SimProcess:
+        return SimProcess(self, gen, name)
+
+    # -- internal scheduling -------------------------------------------
+    def _schedule(self, at: int, fn: Callable, *args: Any) -> None:
+        if at < self._now:
+            raise SimError(f"cannot schedule into the past ({at} < {self._now})")
+        self._seq += 1
+        heapq.heappush(self._heap, (at, self._seq, fn, args))
+
+    def _ready(self, event: Event) -> None:
+        """Dispatch an event's callbacks at the current tick."""
+        callbacks, event._callbacks = event._callbacks, []
+        for fn in callbacks:
+            self._schedule(self._now, fn, event)
+
+    def _crashed(self, proc: SimProcess, exc: BaseException) -> None:
+        self._crashes.append((proc, exc))
+
+    # -- run loop --------------------------------------------------------
+    def run(self, until: Optional[int] = None, raise_crashes: bool = True) -> None:
+        """Run until the event heap drains or the clock reaches ``until``.
+
+        If any process died with an unhandled exception the first such
+        exception is re-raised at the end of the run (pass
+        ``raise_crashes=False`` to inspect ``engine.crashes`` instead).
+        """
+        while self._heap:
+            at, _seq, fn, args = self._heap[0]
+            if until is not None and at > until:
+                # events remain beyond the horizon: park the clock there
+                self._now = until
+                break
+            heapq.heappop(self._heap)
+            self._now = at
+            fn(*args)
+        # an empty heap leaves the clock at the last event (the
+        # simulation is over; no reason to fast-forward to `until`)
+        if raise_crashes and self._crashes:
+            _proc, exc = self._crashes[0]
+            raise exc
+
+    @property
+    def crashes(self) -> list[tuple[SimProcess, BaseException]]:
+        return list(self._crashes)
+
+    @property
+    def idle(self) -> bool:
+        return not self._heap

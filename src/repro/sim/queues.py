@@ -1,0 +1,157 @@
+"""Blocking primitives for simulation processes.
+
+Three primitives cover everything the modelled system needs:
+
+* :class:`Channel` — an unbounded FIFO of messages (NIC notification
+  rings, socket receive queues, inter-process mailboxes),
+* :class:`PriorityLock` — a mutual-exclusion lock with priorities (the
+  CPU: interrupt-level work preempts user-level work at charge-quantum
+  boundaries),
+* :class:`Gate` — a reusable level-triggered condition (scheduler
+  "you are now running" signals).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Optional
+
+from .engine import Engine, Event
+
+__all__ = ["Channel", "PriorityLock", "Gate"]
+
+
+class Channel:
+    """Unbounded FIFO channel.
+
+    ``put`` never blocks; ``get`` returns an :class:`Event` that triggers
+    with the next item (immediately, if one is queued).  Items are
+    delivered in insertion order, one per waiter, in waiter-arrival
+    order.
+    """
+
+    def __init__(self, engine: Engine, name: str = "chan"):
+        self.engine = engine
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._waiters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = self.engine.event(f"{self.name}.get")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def cancel_get(self, ev: Event) -> None:
+        """Withdraw a pending ``get`` (e.g. when a timeout won instead)."""
+        try:
+            self._waiters.remove(ev)
+        except ValueError:
+            pass
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking poll: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+    def peek(self) -> Any:
+        return self._items[0] if self._items else None
+
+
+class PriorityLock:
+    """A mutex whose wait queue is ordered by (priority, arrival).
+
+    Lower numbers are *more* urgent, matching interrupt-level semantics:
+    priority 0 = device interrupt, larger = less urgent.  The holder is
+    never preempted — priorities only order the waiters — which models a
+    CPU where interrupt handlers run at instruction (here: charge
+    quantum) boundaries.
+    """
+
+    def __init__(self, engine: Engine, name: str = "lock"):
+        self.engine = engine
+        self.name = name
+        self._locked = False
+        self._seq = 0
+        self._waiters: list[tuple[int, int, Event]] = []
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    @property
+    def contended(self) -> bool:
+        """True when someone is waiting for the lock."""
+        return bool(self._waiters)
+
+    def waiting_priority(self) -> Optional[int]:
+        """Priority of the most urgent waiter, or None."""
+        return self._waiters[0][0] if self._waiters else None
+
+    def acquire(self, priority: int = 10) -> Event:
+        ev = self.engine.event(f"{self.name}.acquire")
+        if not self._locked:
+            self._locked = True
+            ev.succeed(None)
+        else:
+            self._seq += 1
+            heapq.heappush(self._waiters, (priority, self._seq, ev))
+        return ev
+
+    def release(self) -> None:
+        if not self._locked:
+            raise RuntimeError(f"{self.name}: release of unheld lock")
+        if self._waiters:
+            _prio, _seq, ev = heapq.heappop(self._waiters)
+            ev.succeed(None)  # lock stays held, ownership transfers
+        else:
+            self._locked = False
+
+
+class Gate:
+    """A reusable level-triggered condition.
+
+    ``wait()`` returns an event that triggers once the gate is open;
+    while the gate is open waits pass through immediately.  Used by the
+    scheduler: each process waits on its own gate, which the scheduler
+    opens for the duration of the process's time slice.
+    """
+
+    def __init__(self, engine: Engine, name: str = "gate"):
+        self.engine = engine
+        self.name = name
+        self._open = False
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def open(self) -> None:
+        self._open = True
+        while self._waiters:
+            self._waiters.popleft().succeed(None)
+
+    def close(self) -> None:
+        self._open = False
+
+    def wait(self) -> Event:
+        ev = self.engine.event(f"{self.name}.wait")
+        if self._open:
+            ev.succeed(None)
+        else:
+            self._waiters.append(ev)
+        return ev

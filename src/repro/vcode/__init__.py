@@ -1,0 +1,37 @@
+"""VCODE: the dynamic code generation substrate handlers are written in."""
+
+from .asm_text import parse_asm
+from .builder import Label, VBuilder
+from .isa import Insn, Program, assemble, insn_cost
+from .registers import P_TMP, P_VAR, RegisterAllocator
+from .vm import TrustedCallContext, Vm, VmResult
+from .extensions import (
+    build_byteswap,
+    build_checksum,
+    build_copy,
+    build_integrated,
+    emit_fold16,
+    fold_checksum,
+)
+
+__all__ = [
+    "parse_asm",
+    "Label",
+    "VBuilder",
+    "Insn",
+    "Program",
+    "assemble",
+    "insn_cost",
+    "P_TMP",
+    "P_VAR",
+    "RegisterAllocator",
+    "TrustedCallContext",
+    "Vm",
+    "VmResult",
+    "build_byteswap",
+    "build_checksum",
+    "build_copy",
+    "build_integrated",
+    "emit_fold16",
+    "fold_checksum",
+]

@@ -1,0 +1,162 @@
+"""A textual VCODE assembler: the inverse of ``Program.disassemble``.
+
+Handlers in this reproduction are normally built through the
+:class:`~repro.vcode.builder.VBuilder` macro API (as the paper's were
+built through C macros), but a textual form is handy for tests, tools
+and documentation.  The accepted grammar is exactly what
+``Program.disassemble`` prints:
+
+    label:
+        opcode [rD] [rS] [rT] [#imm] [label]
+    ; or # start a comment; the leading index column is optional
+
+Example::
+
+    prog = parse_asm('''
+        ; sum the first two message words
+            ld32 r8 r4 #0
+            ld32 r9 r4 #4
+            addu r2 r8 r9
+            ret
+    ''', name="sum2")
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import VcodeError
+from .isa import (
+    ALU_IMM_OPS,
+    ALU_OPS,
+    BRANCH_OPS,
+    CALL_OPS,
+    CHECK_OPS,
+    FORBIDDEN_OPS,
+    Insn,
+    JUMP_OPS,
+    LOAD_OPS,
+    OPCODES,
+    Program,
+    STORE_OPS,
+    assemble,
+)
+
+__all__ = ["parse_asm"]
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.$-]*):$")
+_REG_RE = re.compile(r"^r(\d+)$")
+_IMM_RE = re.compile(r"^#(-?(?:0x[0-9a-fA-F]+|\d+))$")
+_INDEX_RE = re.compile(r"^\d+$")
+
+
+def _imm_value(token: str) -> int:
+    body = token[1:]
+    return int(body, 0)
+
+
+def _parse_operands(tokens: list[str]):
+    regs: list[int] = []
+    imm = None
+    label = None
+    for token in tokens:
+        m = _REG_RE.match(token)
+        if m:
+            regs.append(int(m.group(1)))
+            continue
+        if _IMM_RE.match(token):
+            if imm is not None:
+                raise VcodeError(f"duplicate immediate in {tokens!r}")
+            imm = _imm_value(token)
+            continue
+        if label is not None:
+            raise VcodeError(f"unexpected operand {token!r}")
+        label = token
+    return regs, imm, label
+
+
+def _build_insn(op: str, regs: list[int], imm, label) -> Insn:
+    if op in ALU_OPS or op in FORBIDDEN_OPS or op == "divu":
+        if len(regs) == 3:
+            return Insn(op, rd=regs[0], rs=regs[1], rt=regs[2])
+        if op in FORBIDDEN_OPS and len(regs) == 0:
+            return Insn(op)
+        raise VcodeError(f"{op}: expected 3 registers, got {regs}")
+    if op in ALU_IMM_OPS:
+        if len(regs) != 2 or imm is None:
+            raise VcodeError(f"{op}: expected rD rS #imm")
+        return Insn(op, rd=regs[0], rs=regs[1], imm=imm)
+    if op in LOAD_OPS:
+        if len(regs) != 2:
+            raise VcodeError(f"{op}: expected rD rBase [#off]")
+        return Insn(op, rd=regs[0], rs=regs[1], imm=imm or 0)
+    if op in STORE_OPS:
+        # disassembly operand order: base register first, value second
+        # (Insn.pretty prints rs before rt)
+        if len(regs) != 2:
+            raise VcodeError(f"{op}: expected rBase rVal [#off]")
+        return Insn(op, rs=regs[0], rt=regs[1], imm=imm or 0)
+    if op in BRANCH_OPS:
+        if len(regs) != 2 or label is None:
+            raise VcodeError(f"{op}: expected rS rT label")
+        return Insn(op, rs=regs[0], rt=regs[1], label=label)
+    if op in JUMP_OPS:
+        if label is None:
+            raise VcodeError(f"{op}: expected a label")
+        return Insn(op, label=label)
+    if op == "jr":
+        if len(regs) != 1:
+            raise VcodeError("jr: expected one register")
+        return Insn(op, rs=regs[0])
+    if op in CALL_OPS:
+        if label is None:
+            raise VcodeError("call: expected an entry-point name")
+        return Insn(op, label=label)
+    if op == "li":
+        if len(regs) != 1 or imm is None:
+            raise VcodeError("li: expected rD #imm")
+        return Insn(op, rd=regs[0], imm=imm)
+    if op in ("nop", "ret"):
+        return Insn(op)
+    if op in ("cksum32", "bswap32", "bswap16"):
+        if len(regs) != 2:
+            raise VcodeError(f"{op}: expected rD rS")
+        return Insn(op, rd=regs[0], rs=regs[1])
+    if op in CHECK_OPS:
+        if op in ("chkld", "chkst"):
+            if len(regs) < 1:
+                raise VcodeError(f"{op}: expected a base register")
+            size = regs[1] if len(regs) > 1 else 4
+            return Insn(op, rs=regs[0], imm=imm or 0, rt=size)
+        if op == "chkjmp":
+            if len(regs) != 1:
+                raise VcodeError("chkjmp: expected one register")
+            return Insn(op, rs=regs[0])
+        return Insn(op)
+    raise VcodeError(f"unknown opcode {op!r}")  # pragma: no cover
+
+
+def parse_asm(text: str, name: str = "asm") -> Program:
+    """Assemble the textual form into an executable :class:`Program`."""
+    items: list = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].split("//", 1)[0].strip()
+        if not line:
+            continue
+        m = _LABEL_RE.match(line)
+        if m:
+            items.append(("label", m.group(1)))
+            continue
+        tokens = line.split()
+        # drop the optional leading index column that disassemble prints
+        if _INDEX_RE.match(tokens[0]) and len(tokens) > 1:
+            tokens = tokens[1:]
+        op = tokens[0]
+        if op not in OPCODES:
+            raise VcodeError(f"line {lineno}: unknown opcode {op!r}")
+        try:
+            regs, imm, label = _parse_operands(tokens[1:])
+            items.append(_build_insn(op, regs, imm, label))
+        except VcodeError as exc:
+            raise VcodeError(f"line {lineno}: {exc}") from None
+    return assemble(name, items)

@@ -1,0 +1,195 @@
+"""Networking idioms built from VCODE: loop factories and macros.
+
+The paper: "we have extended the VCODE system to include common
+networking operations ... checksumming, byteswapping, memory copies,
+and unaligned memory accesses."  This module provides those idioms as
+*program factories* — they emit the hand-written loops the paper's
+microbenchmarks compare against (Table III's copy loops and Table IV's
+"separate" and "C integrated" strategies).  The dynamically-composed
+equivalents come from :mod:`repro.pipes.compiler`.
+
+All data loops use the calling convention ``A0 = src``, ``A1 = dst``,
+``A2 = length in bytes`` and require ``length % 4 == 0`` (the paper's
+checksum pipe "assumes that messages are always a multiple of four
+bytes long").  Checksum variants keep the 32-bit accumulator in a
+persistent register and also return it in V0; fold it with
+:func:`fold_checksum` (or :func:`emit_fold16` in VCODE).
+"""
+
+from __future__ import annotations
+
+from ..errors import VcodeError
+from .builder import VBuilder
+from .isa import Program
+from .registers import P_VAR
+
+__all__ = [
+    "build_copy",
+    "build_checksum",
+    "build_byteswap",
+    "build_integrated",
+    "emit_fold16",
+    "fold_checksum",
+]
+
+
+def fold_checksum(acc32: int) -> int:
+    """Fold a 32-bit one's-complement accumulator to 16 bits (RFC 1071)."""
+    while acc32 > 0xFFFF:
+        acc32 = (acc32 & 0xFFFF) + (acc32 >> 16)
+    return acc32
+
+
+def emit_fold16(b: VBuilder, dst: int, acc: int) -> None:
+    """Emit VCODE folding the 32-bit accumulator ``acc`` into 16 bits."""
+    hi = b.getreg()
+    # Two folds suffice: after the first, the value is < 0x1FFFE.
+    for _ in range(2):
+        b.v_srl(hi, acc, 16)
+        b.v_andi(dst, acc, 0xFFFF)
+        b.v_addu(dst, dst, hi)
+        b.v_move(acc, dst)
+    b.putreg(hi)
+
+
+def _word_loop(
+    b: VBuilder,
+    unroll: int,
+    body,  # body(offset_bytes, src_reg, dst_reg) emits per-word work
+) -> None:
+    """Emit the canonical data loop skeleton.
+
+    Two loops are emitted: an unrolled main loop consuming
+    ``unroll * 4`` bytes per iteration and a single-word tail loop, so
+    any multiple-of-4 length is handled.
+    """
+    if unroll < 1:
+        raise VcodeError("unroll must be >= 1")
+    src, dst = b.A0, b.A1
+    end = b.getreg()
+    b.v_addu(end, src, b.A2)           # end = src + len
+    step = 4 * unroll
+
+    if unroll > 1:
+        # main_end = src + (len - len % step); computed with shifts since
+        # step is a power of two in all our uses, otherwise via divu.
+        main_end = b.getreg()
+        rem = b.getreg()
+        if step & (step - 1) == 0:
+            shift = step.bit_length() - 1
+            b.v_srl(rem, b.A2, shift)
+            b.v_sll(rem, rem, shift)   # rem = len rounded down to step
+        else:
+            tmp = b.getreg()
+            b.v_li(tmp, step)
+            b.v_divu(rem, b.A2, tmp)
+            b.v_multu(rem, rem, tmp)
+            b.putreg(tmp)
+        b.v_addu(main_end, src, rem)
+        b.putreg(rem)
+
+        main_loop = b.label()
+        main_done = b.label()
+        b.v_bgeu(src, main_end, main_done)
+        b.mark(main_loop)
+        for k in range(unroll):
+            body(4 * k, src, dst)
+        b.v_addiu(src, src, step)
+        b.v_addiu(dst, dst, step)
+        b.v_bltu(src, main_end, main_loop)
+        b.mark(main_done)
+        b.putreg(main_end)
+
+    tail_loop = b.label()
+    done = b.label()
+    b.v_bgeu(src, end, done)
+    b.mark(tail_loop)
+    body(0, src, dst)
+    b.v_addiu(src, src, 4)
+    b.v_addiu(dst, dst, 4)
+    b.v_bltu(src, end, tail_loop)
+    b.mark(done)
+    b.putreg(end)
+
+
+def build_copy(unroll: int = 4, name: str = "memcpy") -> Program:
+    """A (by default unrolled) word-copy loop: the tuned ``memcpy``."""
+    b = VBuilder(name)
+    tmp = b.getreg()
+
+    def body(off: int, src: int, dst: int) -> None:
+        b.v_ld32(tmp, src, off)
+        b.v_st32(tmp, dst, off)
+
+    _word_loop(b, unroll, body)
+    b.v_ret()
+    return b.finish()
+
+
+def build_checksum(unroll: int = 1, name: str = "inet_cksum") -> Program:
+    """The straightforward RFC 1071 checksum pass (reads src only).
+
+    Returns the 32-bit accumulator in V0; the caller folds.  This is the
+    per-word loop ordinary protocol code uses — the paper's *separate*
+    strategy — as opposed to the unrolled integrated loops.
+    """
+    b = VBuilder(name)
+    acc = b.getreg(P_VAR)
+    b.v_li(acc, 0)
+    tmp = b.getreg()
+
+    def body(off: int, src: int, dst: int) -> None:
+        b.v_ld32(tmp, src, off)
+        b.v_cksum32(acc, tmp)
+
+    _word_loop(b, unroll, body)
+    b.v_move(b.V0, acc)
+    b.v_ret()
+    return b.finish()
+
+
+def build_byteswap(unroll: int = 1, name: str = "bswap_pass",
+                   in_place: bool = True) -> Program:
+    """Byte-swap every 32-bit word (big <-> little endian)."""
+    b = VBuilder(name)
+    tmp = b.getreg()
+
+    def body(off: int, src: int, dst: int) -> None:
+        b.v_ld32(tmp, src, off)
+        b.v_bswap32(tmp, tmp)
+        b.v_st32(tmp, src if in_place else dst, off)
+
+    _word_loop(b, unroll, body)
+    b.v_ret()
+    return b.finish()
+
+
+def build_integrated(
+    do_checksum: bool = True,
+    do_byteswap: bool = False,
+    unroll: int = 4,
+    name: str = "integrated",
+) -> Program:
+    """The hand-integrated single-traversal loop ("C integrated").
+
+    Copies src to dst while optionally checksumming (over the *input*
+    data, as a transport checksum must) and byteswapping in one pass.
+    V0 returns the checksum accumulator (0 if checksumming is off).
+    """
+    b = VBuilder(name)
+    acc = b.getreg(P_VAR)
+    b.v_li(acc, 0)
+    tmp = b.getreg()
+
+    def body(off: int, src: int, dst: int) -> None:
+        b.v_ld32(tmp, src, off)
+        if do_checksum:
+            b.v_cksum32(acc, tmp)
+        if do_byteswap:
+            b.v_bswap32(tmp, tmp)
+        b.v_st32(tmp, dst, off)
+
+    _word_loop(b, unroll, body)
+    b.v_move(b.V0, acc)
+    b.v_ret()
+    return b.finish()

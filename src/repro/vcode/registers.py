@@ -1,0 +1,65 @@
+"""Register allocation for VCODE fragments.
+
+The paper (Section II-B): "pipes are charged with allocating those
+registers they need and choosing the appropriate register class.  The
+two available register classes are *temporary* and *persistent*.
+Temporary registers are scratch registers that are not saved across
+pipe invocations.  Persistent registers are saved across pipe
+invocations ... The values of persistent registers can be imported and
+exported from the main protocol code."
+"""
+
+from __future__ import annotations
+
+from ..errors import VcodeError
+from .isa import PERSISTENT_REGS, TEMP_REGS
+
+__all__ = ["P_TMP", "P_VAR", "RegisterAllocator"]
+
+#: register class constants, named after the paper's P_TMP / P_VAR usage
+P_TMP = "temporary"
+P_VAR = "persistent"
+
+
+class RegisterAllocator:
+    """Hands out registers from the two classes; supports free/reset."""
+
+    def __init__(self) -> None:
+        self._free_temp = list(TEMP_REGS)
+        self._free_persistent = list(PERSISTENT_REGS)
+        self._allocated: dict[int, str] = {}
+
+    def alloc(self, reg_class: str = P_TMP) -> int:
+        """Allocate one register of the requested class."""
+        if reg_class == P_TMP:
+            pool = self._free_temp
+        elif reg_class == P_VAR:
+            pool = self._free_persistent
+        else:
+            raise VcodeError(f"unknown register class {reg_class!r}")
+        if not pool:
+            raise VcodeError(f"out of {reg_class} registers")
+        reg = pool.pop(0)
+        self._allocated[reg] = reg_class
+        return reg
+
+    def free(self, reg: int) -> None:
+        reg_class = self._allocated.pop(reg, None)
+        if reg_class is None:
+            raise VcodeError(f"r{reg} was not allocated")
+        if reg_class == P_TMP:
+            self._free_temp.append(reg)
+            self._free_temp.sort()
+        else:
+            self._free_persistent.append(reg)
+            self._free_persistent.sort()
+
+    def persistent_registers(self) -> tuple[int, ...]:
+        """Currently-allocated persistent registers, in numeric order."""
+        return tuple(sorted(
+            reg for reg, cls in self._allocated.items() if cls == P_VAR
+        ))
+
+    @property
+    def allocated(self) -> dict[int, str]:
+        return dict(self._allocated)

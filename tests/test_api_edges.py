@@ -1,0 +1,135 @@
+"""API-edge and error-path tests across the public surface."""
+
+import pytest
+
+from repro.bench.results import BenchTable, ascii_chart
+from repro.bench.testbed import make_an2_pair, make_eth_pair
+from repro.errors import ProtocolError, SocketError
+from repro.hw.link import Frame
+from repro.net.socket_api import make_stacks
+from repro.net.stack import NetStack
+from repro.net.tcp import TcpConnection
+from repro.net.udp import UdpSocket
+
+
+class TestCliRunner:
+    def test_list_and_single_experiment(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--list"]) == 0
+        listed = capsys.readouterr().out.split()
+        assert "table3" in listed and "fig4" in listed
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out and "single copy" in out
+
+    def test_unknown_experiment_rejected(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["not-a-table"])
+
+
+class TestAsciiChart:
+    def test_renders_points_and_legend(self):
+        chart = ascii_chart({"a": [(0, 1.0), (10, 2.0)],
+                             "b": [(0, 2.0), (10, 1.0)]},
+                            width=20, height=5, title="demo")
+        assert "demo" in chart
+        assert "*=a" in chart and "o=b" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_empty_series(self):
+        assert ascii_chart({}) == "(no data)"
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        chart = ascii_chart({"flat": [(0, 5.0), (1, 5.0)]})
+        assert "*" in chart
+
+    def test_log_scale_labels(self):
+        chart = ascii_chart({"s": [(1, 10.0), (2, 10000.0)]}, log_y=True)
+        assert "1e+04" in chart or "10000" in chart or "1e+4" in chart
+
+
+class TestStackValidation:
+    def test_an2_stack_requires_circuit_for_peer(self):
+        tb = make_an2_pair()
+        stack = NetStack(tb.client_kernel, tb.client_nic, "10.0.0.1",
+                         an2_peers={})
+        with pytest.raises(ProtocolError, match="no AN2 circuit"):
+            stack.tx_vci(0x0A000002)
+
+    def test_eth_stack_requires_mac(self):
+        tb = make_eth_pair()
+        with pytest.raises(ProtocolError, match="MAC"):
+            NetStack(tb.client_kernel, tb.client_nic, "10.0.0.1")
+
+    def test_eth_frame_requires_resolution(self):
+        tb = make_eth_pair()
+        stack = NetStack(tb.client_kernel, tb.client_nic, "10.0.0.1",
+                         mac=b"\x02" + bytes(5))
+        with pytest.raises(ProtocolError, match="MAC unknown"):
+            stack.frame_for(0x0A000002, b"\x45" + bytes(19))
+
+    def test_udp_socket_needs_vci_on_an2(self):
+        tb = make_an2_pair()
+        cstack, _ = make_stacks(tb)
+        with pytest.raises(ProtocolError, match="rx_vci"):
+            UdpSocket(cstack, 9000)
+
+    def test_tcp_needs_power_of_two_buffer(self):
+        tb = make_an2_pair()
+        cstack, _ = make_stacks(tb)
+        with pytest.raises(SocketError, match="power of two"):
+            TcpConnection(cstack, 1, 2, 3, rx_vci=5, recv_buf_size=3000)
+
+    def test_tcp_write_before_establish_rejected(self):
+        tb = make_an2_pair()
+        cstack, _ = make_stacks(tb)
+        conn = TcpConnection(cstack, 1, 2, 3, rx_vci=5)
+
+        def body(proc):
+            with pytest.raises(SocketError, match="write on"):
+                yield from conn.write(proc, b"early")
+
+        tb.client_kernel.spawn_process("p", body)
+        tb.run()
+
+
+class TestBenchTableEdges:
+    def test_nan_cells_render(self):
+        table = BenchTable(name="x", title="X", columns=["v"])
+        table.add_row("r", v=float("nan"))
+        assert "nan" in table.format()
+
+    def test_column_missing_from_row_is_blank(self):
+        table = BenchTable(name="x", title="X", columns=["a", "b"])
+        table.add_row("r", a=1.0)
+        assert table.format()  # no KeyError
+
+
+class TestNodeAndLink:
+    def test_duplicate_nic_name_rejected(self):
+        from repro.hw.calibration import Calibration
+        from repro.hw.nic.an2 import An2Nic
+        from repro.hw.node import Node
+        from repro.sim import Engine
+
+        eng = Engine()
+        node = Node(eng, "n", Calibration())
+        nic = An2Nic(eng, node.cal, node.memory, "an2")
+        node.add_nic(nic)
+        dup = An2Nic(eng, node.cal, node.memory, "an2")
+        with pytest.raises(ValueError, match="duplicate"):
+            node.add_nic(dup)
+
+    def test_link_counters(self):
+        tb = make_an2_pair()
+        tb.server_kernel.create_endpoint_an2(tb.server_nic, 1)
+        tb.client_nic.transmit(Frame(bytes(100), vci=1))
+        tb.run()
+        assert tb.link.frames_sent[0] == 1
+        assert tb.link.bytes_sent[0] == 100
+
+    def test_frame_len(self):
+        assert len(Frame(b"12345")) == 5

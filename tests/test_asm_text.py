@@ -1,0 +1,111 @@
+"""Tests for the textual assembler, including disassembly round trips."""
+
+import pytest
+
+from repro.ash.examples import build_remote_increment, build_remote_write_generic
+from repro.errors import VcodeError
+from repro.hw.memory import PhysicalMemory
+from repro.sandbox import Sandboxer
+from repro.vcode import Vm, build_copy, build_integrated
+from repro.vcode.asm_text import parse_asm
+
+
+class TestParsing:
+    def test_simple_program(self):
+        prog = parse_asm("""
+            ; sum two message words
+                ld32 r8 r4 #0
+                ld32 r9 r4 #4
+                addu r2 r8 r9
+                ret
+        """)
+        mem = PhysicalMemory(1 << 16)
+        buf = mem.alloc("b", 16)
+        mem.store_u32(buf.base, 40)
+        mem.store_u32(buf.base + 4, 2)
+        assert Vm(mem).run(prog, args=(buf.base,)).value == 42
+
+    def test_labels_and_branches(self):
+        prog = parse_asm("""
+                li r8 #10
+                li r9 #0
+            loop:
+                addu r9 r9 r8
+                addiu r8 r8 #-1
+                bne r8 r0 loop
+                addu r2 r9 r0
+                ret
+        """)
+        assert Vm(PhysicalMemory(1 << 12)).run(prog).value == 55
+
+    def test_hex_immediates(self):
+        prog = parse_asm("""
+            li r2 #0xFF
+            ret
+        """)
+        assert Vm(PhysicalMemory(1 << 12)).run(prog).value == 255
+
+    def test_call_and_extensions(self):
+        prog = parse_asm("""
+            li r8 #0x11223344
+            bswap32 r2 r8
+            call magic
+            ret
+        """)
+        called = []
+
+        def magic(ctx):
+            called.append(True)
+            return ctx.regs[2], 0
+
+        result = Vm(PhysicalMemory(1 << 12)).run(prog, env={"magic": magic})
+        assert result.value == 0x44332211
+        assert called
+
+    def test_index_column_tolerated(self):
+        prog = parse_asm("""
+            0  li r2 #7
+            1  ret
+        """)
+        assert Vm(PhysicalMemory(1 << 12)).run(prog).value == 7
+
+    def test_errors_are_loud(self):
+        with pytest.raises(VcodeError, match="unknown opcode"):
+            parse_asm("frobnicate r1 r2")
+        with pytest.raises(VcodeError, match="expected rD"):
+            parse_asm("li r1 r2")
+        with pytest.raises(VcodeError, match="line 2"):
+            parse_asm("nop\naddu r1 r2")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("build", [
+        build_copy,
+        lambda: build_integrated(do_checksum=True, do_byteswap=True),
+        build_remote_increment,
+        lambda: build_remote_write_generic(1),
+    ], ids=["copy", "integrated", "increment", "remote-write"])
+    def test_disassemble_parse_preserves_semantics(self, build):
+        original = build()
+        reparsed = parse_asm(original.disassemble(), name=original.name)
+        assert [i.pretty() for i in reparsed.insns] == [
+            i.pretty() for i in original.insns
+        ]
+        assert reparsed.labels == original.labels
+
+    def test_sandboxed_program_round_trips(self):
+        sandboxed, _ = Sandboxer().sandbox(build_copy(unroll=1))
+        reparsed = parse_asm(sandboxed.disassemble(), name="reparsed")
+        assert [i.pretty() for i in reparsed.insns] == [
+            i.pretty() for i in sandboxed.insns
+        ]
+
+    def test_reparsed_copy_still_copies(self):
+        mem = PhysicalMemory(1 << 18)
+        src = mem.alloc("s", 256)
+        dst = mem.alloc("d", 256)
+        data = bytes(range(128))
+        mem.write(src.base, data)
+        reparsed = parse_asm(build_copy().disassemble())
+        Vm(mem).run(reparsed, args=(src.base, dst.base, 128))
+        assert mem.read(dst.base, 128) == data

@@ -1,0 +1,121 @@
+"""Tests for dynamic protocol composition (the Sec II-C extension)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net.compose import (
+    LayerContext,
+    ProtocolFragment,
+    ProtocolStack,
+    ethernet_fragment,
+    ipv4_fragment,
+    udp_fragment,
+)
+from repro.net.headers import (
+    EthernetHeader,
+    IPPROTO_UDP,
+    Ipv4Header,
+    UdpHeader,
+    ip_aton,
+)
+
+
+def ctx_for_send():
+    ctx = LayerContext()
+    ctx["src_mac"] = b"\x02\x00\x00\x00\x00\x01"
+    ctx["dst_mac"] = b"\x02\x00\x00\x00\x00\x02"
+    ctx["src_ip"] = ip_aton("10.0.0.1")
+    ctx["dst_ip"] = ip_aton("10.0.0.2")
+    ctx["src_port"] = 7001
+    ctx["dst_port"] = 7000
+    return ctx
+
+
+class TestComposition:
+    def test_eth_ip_udp_roundtrip(self):
+        stack = ProtocolStack([
+            ethernet_fragment(), ipv4_fragment(IPPROTO_UDP), udp_fragment(),
+        ])
+        payload = b"composed at runtime!"
+        wire = stack.encapsulate(ctx_for_send(), payload)
+        rx = LayerContext()
+        assert stack.decapsulate(rx, wire) == payload
+        assert rx["src_port"] == 7001
+        assert rx["src_ip"] == ip_aton("10.0.0.1")
+
+    def test_matches_handrolled_bytes(self):
+        """The composed stack's wire bytes equal the hand-wired path's."""
+        ctx = ctx_for_send()
+        payload = bytes(range(100))
+        stack = ProtocolStack([ipv4_fragment(IPPROTO_UDP), udp_fragment()])
+        composed = stack.encapsulate(ctx, payload)
+
+        udp = UdpHeader.build(ctx["src_ip"], ctx["dst_ip"], 7001, 7000,
+                              payload)
+        ip = Ipv4Header(
+            src=ctx["src_ip"], dst=ctx["dst_ip"], proto=IPPROTO_UDP,
+            total_length=Ipv4Header.SIZE + len(udp) + len(payload),
+        ).pack()
+        assert composed == ip + udp + payload
+
+    def test_recomposition_at_runtime(self):
+        """One IP routine, composed under different outer layers."""
+        ip_udp = ProtocolStack([ipv4_fragment(IPPROTO_UDP), udp_fragment()])
+        with_eth = ip_udp.composed_with(ethernet_fragment(), inner=False)
+        assert with_eth.name == "eth/ip(udp)/udp"
+        payload = b"hello"
+        ctx = ctx_for_send()
+        wire = with_eth.encapsulate(ctx, payload)
+        assert EthernetHeader.unpack(wire).ethertype == 0x0800
+        rx = LayerContext()
+        assert with_eth.decapsulate(rx, wire) == payload
+
+    def test_cost_is_sum_of_layers(self):
+        frags = [ethernet_fragment(), ipv4_fragment(IPPROTO_UDP),
+                 udp_fragment()]
+        stack = ProtocolStack(frags)
+        assert stack.cost_us == pytest.approx(sum(f.cost_us for f in frags))
+
+    def test_udp_checksum_verified_on_decap(self):
+        stack = ProtocolStack([ipv4_fragment(IPPROTO_UDP), udp_fragment()])
+        ctx = ctx_for_send()
+        wire = bytearray(stack.encapsulate(ctx, b"payload!"))
+        wire[-1] ^= 0xFF
+        with pytest.raises(ProtocolError, match="checksum"):
+            stack.decapsulate(LayerContext(), bytes(wire))
+
+    def test_wrong_transport_rejected(self):
+        stack = ProtocolStack([ipv4_fragment(6)])  # expects TCP
+        ctx = ctx_for_send()
+        ctx["ip_proto"] = IPPROTO_UDP
+        wire = ProtocolStack([ipv4_fragment(IPPROTO_UDP)]).encapsulate(
+            ctx, b"x"
+        )
+        with pytest.raises(ProtocolError, match="wrong transport"):
+            stack.decapsulate(LayerContext(), wire)
+
+    def test_missing_context_field_is_loud(self):
+        stack = ProtocolStack([udp_fragment()])
+        with pytest.raises(ProtocolError, match="needs field"):
+            stack.encapsulate(LayerContext(), b"x")
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ProtocolError):
+            ProtocolStack([])
+
+    def test_custom_fragment_composes(self):
+        """User-defined layers (e.g. a trivial 4-byte trailer... header)
+        slot in like the built-ins."""
+
+        def encap(ctx, payload):
+            return len(payload).to_bytes(4, "big")
+
+        def decap(ctx, packet):
+            n = int.from_bytes(packet[:4], "big")
+            return packet[4:4 + n]
+
+        framing = ProtocolFragment("len4", encap, decap, cost_us=0.5)
+        stack = ProtocolStack([framing, udp_fragment(checksum=False)])
+        ctx = ctx_for_send()
+        wire = stack.encapsulate(ctx, b"data")
+        assert stack.decapsulate(LayerContext(), wire) == b"data"

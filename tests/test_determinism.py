@@ -1,0 +1,46 @@
+"""Determinism: identical runs produce identical virtual timings.
+
+The paper de-noised its DECstations by relinking kernels and taking the
+best of ten runs; our substitute is a fully deterministic simulator —
+which these tests pin down, because every reproduced table relies on it.
+"""
+
+from repro.bench import workloads as W
+from repro.bench.workloads import TcpConfig
+
+
+def test_raw_latency_bitwise_repeatable():
+    a = W.raw_pingpong_kernel(iters=6, warmup=1)
+    b = W.raw_pingpong_kernel(iters=6, warmup=1)
+    assert a == b
+
+
+def test_udp_pingpong_repeatable():
+    a = W.udp_pingpong(iters=5, warmup=1)
+    b = W.udp_pingpong(iters=5, warmup=1)
+    assert a == b
+
+
+def test_tcp_session_repeatable_including_fastpath():
+    cfg = TcpConfig(handler="ash")
+    a = W.tcp_pingpong(config=cfg, iters=5, warmup=1)
+    b = W.tcp_pingpong(config=cfg, iters=5, warmup=1)
+    assert a == b
+
+
+def test_remote_increment_repeatable_across_modes():
+    for mode in ("ash", "upcall", "user"):
+        a = W.remote_increment(mode=mode, iters=4, warmup=1).rt_us
+        b = W.remote_increment(mode=mode, iters=4, warmup=1).rt_us
+        assert a == b, mode
+
+
+def test_calibration_change_actually_changes_results():
+    """Guard against the cost model silently not being consulted."""
+    from repro.hw.calibration import Calibration
+
+    base = W.udp_pingpong(iters=4, warmup=1)
+    slower = W.udp_pingpong(
+        cal=Calibration(an2_hw_oneway_us=96.0), iters=4, warmup=1
+    )
+    assert slower > base + 90.0  # ~2x the one-way hardware latency

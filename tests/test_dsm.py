@@ -1,0 +1,181 @@
+"""Tests for the CRL-style DSM application layer."""
+
+import pytest
+
+from repro.apps.dsm import DsmClient, DsmNode, DsmRegion
+from repro.bench.testbed import (
+    CLIENT_TO_SERVER_VCI,
+    SERVER_TO_CLIENT_VCI,
+    make_an2_pair,
+)
+from repro.errors import ProtocolError
+
+
+def build_dsm(sandbox=True, region_size=8192, n_locks=4):
+    tb = make_an2_pair()
+    home_ep = tb.server_kernel.create_endpoint_an2(
+        tb.server_nic, CLIENT_TO_SERVER_VCI
+    )
+    region = DsmRegion(tb.server_kernel, region_size, n_locks=n_locks)
+    node = DsmNode(tb.server_kernel, home_ep, region,
+                   reply_vci=SERVER_TO_CLIENT_VCI, sandbox=sandbox)
+    reply_ep = tb.client_kernel.create_endpoint_an2(
+        tb.client_nic, SERVER_TO_CLIENT_VCI
+    )
+    client = DsmClient(tb.client_kernel, tb.client_nic,
+                       CLIENT_TO_SERVER_VCI, reply_ep)
+    return tb, node, region, client
+
+
+def run_client(tb, body):
+    out = {}
+
+    def main(proc):
+        yield from body(proc, out)
+
+    tb.client_kernel.spawn_process("dsm-client", main)
+    tb.run()
+    return out
+
+
+class TestReadWrite:
+    @pytest.mark.parametrize("sandbox", [True, False])
+    def test_write_then_read_roundtrip(self, sandbox):
+        tb, node, region, client = build_dsm(sandbox=sandbox)
+        payload = bytes(range(128))
+
+        def body(proc, out):
+            yield from client.write(proc, 512, payload)
+            out["data"] = yield from client.read(proc, 512, 128)
+
+        out = run_client(tb, body)
+        assert out["data"] == payload
+        assert region.read_local(512, 128) == payload
+        # every operation ran in the home kernel, not a home process
+        assert node.layer.stats.consumed == 2
+
+    def test_read_is_zero_copy_from_region(self):
+        tb, node, region, client = build_dsm()
+        region.write_local(64, b"HOME DATA!!!")
+
+        def body(proc, out):
+            out["data"] = yield from client.read(proc, 64, 12)
+
+        out = run_client(tb, body)
+        assert out["data"] == b"HOME DATA!!!"
+
+    def test_out_of_bounds_read_refused(self):
+        tb, node, region, client = build_dsm(region_size=4096)
+
+        def body(proc, out):
+            try:
+                yield from client.read(proc, 4090, 64)
+            except ProtocolError as exc:
+                out["error"] = str(exc)
+
+        # the fragment refuses (voluntary pass); the reply never comes,
+        # so bound the client with a small retry: here the RPC would
+        # block forever — use a guard on unanswered state instead
+        def guarded(proc, out):
+            from repro.ash.active import am_message
+            from repro.hw.link import Frame
+
+            yield from tb.client_kernel.sys_net_send(
+                proc, tb.client_nic,
+                Frame(am_message(0, 4090, 64), vci=CLIENT_TO_SERVER_VCI),
+            )
+            yield from proc.compute_us(2000.0)
+            out["aborts"] = node.layer.stats.voluntary_aborts
+
+        out = run_client(tb, guarded)
+        assert out["aborts"] == 1
+
+    def test_unaligned_write_rejected_client_side(self):
+        tb, node, region, client = build_dsm()
+
+        def body(proc, out):
+            try:
+                yield from client.write(proc, 0, b"abc")
+            except ProtocolError:
+                out["rejected"] = True
+
+        out = run_client(tb, body)
+        assert out.get("rejected")
+
+    def test_large_write_through_dilp(self):
+        tb, node, region, client = build_dsm()
+        payload = bytes((i * 3) % 256 for i in range(2048))
+
+        def body(proc, out):
+            yield from client.write(proc, 0, payload)
+            out["back"] = yield from client.read(proc, 0, 2048)
+
+        out = run_client(tb, body)
+        assert out["back"] == payload
+
+
+class TestLocks:
+    def test_acquire_and_release(self):
+        tb, node, region, client = build_dsm()
+
+        def body(proc, out):
+            yield from client.lock_acquire(proc, 2)
+            out["held"] = region.lock_word(2)
+            yield from client.lock_release(proc, 2)
+            out["released"] = region.lock_word(2)
+
+        out = run_client(tb, body)
+        assert out["held"] == 1
+        assert out["released"] == 0
+
+    def test_contended_lock_denied_then_granted(self):
+        tb, node, region, client = build_dsm()
+        # lock 1 is pre-held by "someone"
+        region.mem.store_u32(region.locks.base + 4, 1)
+
+        def releaser():
+            yield tb.engine.sleep(1_000_000_000)  # 1 ms
+            region.mem.store_u32(region.locks.base + 4, 0)
+
+        tb.engine.spawn(releaser())
+
+        def body(proc, out):
+            yield from client.lock_acquire(proc, 1)
+            out["acquired"] = True
+
+        out = run_client(tb, body)
+        assert out.get("acquired")
+        assert client.lock_retries >= 1
+
+    def test_mutual_exclusion_between_two_clients(self):
+        """Two client processes increment a shared counter under the
+        lock; the final value proves no lost updates."""
+        tb, node, region, client = build_dsm()
+        reply_ep2 = tb.client_kernel.create_endpoint_an2(
+            tb.client_nic, 9, name="reply2"
+        )
+        # a second circuit to the home node for the second client
+        tb.server_nic  # home side: same dispatcher endpoint suffices?
+        # The home replies on a fixed VCI, so two clients on one node
+        # must take turns; here we interleave increments from two
+        # processes sharing the same reply endpoint and rely on the
+        # lock for the read-modify-write race on region word 0.
+        rounds = 5
+
+        def worker(tag):
+            def body(proc):
+                for _ in range(rounds):
+                    yield from client.lock_acquire(proc, 0)
+                    raw = yield from client.read(proc, 0, 4)
+                    value = int.from_bytes(raw, "little") + 1
+                    yield from client.write(
+                        proc, 0, value.to_bytes(4, "little"))
+                    yield from client.lock_release(proc, 0)
+            return body
+
+        # NOTE: a single shared DsmClient is only safe because processes
+        # on one node interleave at whole-RPC granularity under the lock
+        tb.client_kernel.spawn_process("w1", worker("a"))
+        tb.client_kernel.spawn_process("w2", worker("b"))
+        tb.run()
+        assert int.from_bytes(region.read_local(0, 4), "little") == 2 * rounds

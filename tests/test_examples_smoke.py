@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example carries its own assertions; importing and calling its
+``main()`` in-process keeps the suite honest about the documented entry
+points without subprocess overhead.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+
+def run_example(name: str) -> None:
+    path = os.path.join(EXAMPLES, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "dilp_pipelines",
+    "dsm_remote_write",
+    "dsm_locks",
+    "http_over_ash_tcp",
+    "nfs_fileserver",
+])
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip()  # every example narrates its result

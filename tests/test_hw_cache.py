@@ -1,0 +1,101 @@
+"""Unit tests for the direct-mapped write-through cache model."""
+
+import pytest
+
+from repro.hw.cache import DirectMappedCache
+from repro.hw.calibration import Calibration
+
+
+@pytest.fixture
+def cache():
+    return DirectMappedCache(Calibration())
+
+
+def test_cold_load_misses(cache):
+    stall = cache.load(0x100, 4)
+    assert stall == cache.cal.miss_penalty_cycles
+    assert cache.misses == 1
+
+
+def test_warm_load_hits(cache):
+    cache.load(0x100, 4)
+    stall = cache.load(0x104, 4)  # same 16-byte line
+    assert stall == 0
+    assert cache.hits == 1
+
+
+def test_load_spanning_lines_charges_each_line(cache):
+    stall = cache.load(0x100, 64)  # 4 lines
+    assert stall == 4 * cache.cal.miss_penalty_cycles
+
+
+def test_unaligned_range_touches_extra_line(cache):
+    stall = cache.load(0x108, 16)  # straddles two lines
+    assert stall == 2 * cache.cal.miss_penalty_cycles
+
+
+def test_store_never_stalls(cache):
+    assert cache.store(0x200, 4) == 0
+
+
+def test_store_installs_line_for_later_load(cache):
+    cache.store(0x200, 16)
+    assert cache.load(0x200, 4) == 0
+
+
+def test_store_install_disabled_by_calibration():
+    cal = Calibration(store_installs_line=False)
+    cache = DirectMappedCache(cal)
+    cache.store(0x200, 16)
+    assert cache.load(0x200, 4) == cal.miss_penalty_cycles
+
+
+def test_flush_range_forces_remisses(cache):
+    cache.load(0x1000, 4096)
+    cache.flush_range(0x1000, 4096)
+    stall = cache.load(0x1000, 16)
+    assert stall == cache.cal.miss_penalty_cycles
+
+
+def test_flush_range_leaves_other_lines(cache):
+    cache.load(0x1000, 16)
+    cache.load(0x2000, 16)
+    cache.flush_range(0x1000, 16)
+    assert not cache.contains(0x1000)
+    assert cache.contains(0x2000)
+
+
+def test_direct_mapped_conflict_eviction(cache):
+    cal = cache.cal
+    a = 0x0
+    b = cal.cache_size  # maps to the same set as a
+    cache.load(a, 4)
+    cache.load(b, 4)
+    # b evicted a: loading a again misses.
+    assert cache.load(a, 4) == cal.miss_penalty_cycles
+
+
+def test_miss_count_range_is_pure(cache):
+    assert cache.miss_count_range(0x0, 64) == 4
+    # No state was updated:
+    assert cache.miss_count_range(0x0, 64) == 4
+    cache.load(0x0, 64)
+    assert cache.miss_count_range(0x0, 64) == 0
+
+
+def test_whole_buffer_fits_4096(cache):
+    # The paper's 4096-byte message is 256 lines; after one traversal all hit.
+    assert cache.load(0, 4096) == 256 * cache.cal.miss_penalty_cycles
+    assert cache.load(0, 4096) == 0
+
+
+def test_flush_all(cache):
+    cache.load(0, 4096)
+    cache.flush_all()
+    assert cache.miss_count_range(0, 4096) == 256
+
+
+def test_zero_size_accesses_free(cache):
+    assert cache.load(0x100, 0) == 0
+    assert cache.store(0x100, 0) == 0
+    cache.flush_range(0x100, 0)

@@ -1,0 +1,157 @@
+"""Unit tests for the CPU resource and the wire model."""
+
+import pytest
+
+from repro.hw.calibration import Calibration, PRIO_INTERRUPT, PRIO_USER
+from repro.hw.cpu import Cpu
+from repro.hw.link import Frame, Link
+from repro.sim import Engine
+from repro.sim.units import CYCLE_PS, us, to_us
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+@pytest.fixture
+def cpu(eng):
+    return Cpu(eng, Calibration())
+
+
+class TestCpu:
+    def test_exec_advances_time_by_cycles(self, eng, cpu):
+        def proc(cpu):
+            yield from cpu.exec(400)
+            return eng.now
+
+        p = eng.spawn(proc(cpu))
+        eng.run()
+        assert p.value == 400 * CYCLE_PS
+
+    def test_exec_zero_cycles_is_free(self, eng, cpu):
+        def proc(cpu):
+            yield from cpu.exec(0)
+            return eng.now
+
+        p = eng.spawn(proc(cpu))
+        eng.run()
+        assert p.value == 0
+
+    def test_exec_negative_rejected(self, eng, cpu):
+        def proc(cpu):
+            yield from cpu.exec(-1)
+
+        eng.spawn(proc(cpu))
+        with pytest.raises(ValueError):
+            eng.run()
+
+    def test_exec_us_converts(self, eng, cpu):
+        def proc(cpu):
+            yield from cpu.exec_us(10.0)
+            return eng.now
+
+        p = eng.spawn(proc(cpu))
+        eng.run()
+        assert to_us(p.value) == pytest.approx(10.0)
+
+    def test_serialization_between_equal_priorities(self, eng, cpu):
+        finish = {}
+
+        def proc(cpu, tag, cycles):
+            yield from cpu.exec(cycles)
+            finish[tag] = eng.now
+
+        eng.spawn(proc(cpu, "a", 100))
+        eng.spawn(proc(cpu, "b", 100))
+        eng.run()
+        assert finish["a"] == 100 * CYCLE_PS
+        assert finish["b"] == 200 * CYCLE_PS
+
+    def test_interrupt_preempts_within_quantum(self, eng, cpu):
+        quantum = cpu.cal.exec_quantum_cycles
+        finish = {}
+
+        def user(cpu):
+            yield from cpu.exec(10 * quantum, prio=PRIO_USER)
+            finish["user"] = eng.now
+
+        def interrupt(eng, cpu):
+            yield eng.sleep(10)  # arrive mid-slice
+            yield from cpu.exec(quantum, prio=PRIO_INTERRUPT)
+            finish["intr"] = eng.now
+
+        eng.spawn(user(cpu))
+        eng.spawn(interrupt(eng, cpu))
+        eng.run()
+        # The interrupt waited at most one quantum, ran for one quantum.
+        assert finish["intr"] <= 2 * quantum * CYCLE_PS + 10
+        # The user work was pushed back by exactly the interrupt's time.
+        assert finish["user"] == 11 * quantum * CYCLE_PS
+
+    def test_cycle_ledger(self, eng, cpu):
+        def proc(cpu):
+            yield from cpu.exec(123)
+
+        eng.spawn(proc(cpu))
+        eng.run()
+        assert cpu.cycles_charged == 123
+
+
+class TestLink:
+    def test_latency_only_for_tiny_frame(self, eng):
+        link = Link(eng, rate_bytes_per_s=1e9, latency_us=48.0)
+        got = []
+        link.attach(1, lambda f: got.append((eng.now, f)))
+        link.attach(0, lambda f: None)
+        link.send(0, Frame(b"ping"))
+        eng.run()
+        (when, frame), = got
+        assert frame.data == b"ping"
+        assert to_us(when) == pytest.approx(48.0, abs=0.01)
+
+    def test_serialization_time_scales_with_size(self, eng):
+        link = Link(eng, rate_bytes_per_s=1e6, latency_us=0.0)
+        got = []
+        link.attach(1, lambda f: got.append(eng.now))
+        link.attach(0, lambda f: None)
+        link.send(0, Frame(bytes(1000)))  # 1 ms at 1 MB/s
+        eng.run()
+        assert to_us(got[0]) == pytest.approx(1000.0)
+
+    def test_back_to_back_frames_serialize(self, eng):
+        link = Link(eng, rate_bytes_per_s=1e6, latency_us=10.0)
+        got = []
+        link.attach(1, lambda f: got.append(eng.now))
+        link.attach(0, lambda f: None)
+        link.send(0, Frame(bytes(1000)))
+        link.send(0, Frame(bytes(1000)))
+        eng.run()
+        assert to_us(got[0]) == pytest.approx(1010.0)
+        assert to_us(got[1]) == pytest.approx(2010.0)
+
+    def test_directions_do_not_interfere(self, eng):
+        link = Link(eng, rate_bytes_per_s=1e6, latency_us=0.0)
+        got = {0: [], 1: []}
+        link.attach(0, lambda f: got[0].append(eng.now))
+        link.attach(1, lambda f: got[1].append(eng.now))
+        link.send(0, Frame(bytes(1000)))
+        link.send(1, Frame(bytes(1000)))
+        eng.run()
+        assert to_us(got[0][0]) == pytest.approx(1000.0)
+        assert to_us(got[1][0]) == pytest.approx(1000.0)
+
+    def test_min_frame_padding(self, eng):
+        link = Link(eng, rate_bytes_per_s=1.25e6, latency_us=0.0, min_frame=64)
+        got = []
+        link.attach(1, lambda f: got.append(eng.now))
+        link.attach(0, lambda f: None)
+        link.send(0, Frame(b"x"))  # padded to 64 bytes = 51.2 us
+        eng.run()
+        assert to_us(got[0]) == pytest.approx(51.2)
+
+    def test_unattached_end_raises(self, eng):
+        link = Link(eng, rate_bytes_per_s=1e6, latency_us=0.0)
+        link.attach(0, lambda f: None)
+        with pytest.raises(RuntimeError):
+            link.send(0, Frame(b"x"))

@@ -1,0 +1,71 @@
+"""Tests for the receive-livelock guard (Section VI-4)."""
+
+import pytest
+
+from repro.ash.handler import AshBuilder
+from repro.bench.testbed import CLIENT_TO_SERVER_VCI, make_an2_pair
+from repro.hw.calibration import Calibration
+from repro.hw.link import Frame
+
+
+def flood_testbed(limit: int, nframes: int):
+    cal = Calibration(ash_livelock_limit=limit)
+    tb = make_an2_pair(cal)
+    sk = tb.server_kernel
+    ep = sk.create_endpoint_an2(tb.server_nic, CLIENT_TO_SERVER_VCI,
+                                nbufs=max(nframes, 8))
+    b = AshBuilder("sink")
+    b.v_consume()
+    ash_id = sk.ash_system.download(b.finish(), [])
+    sk.ash_system.bind(ep, ash_id)
+    for _ in range(nframes):
+        tb.client_nic.transmit(Frame(b"x", vci=CLIENT_TO_SERVER_VCI))
+    tb.run()
+    return tb, ep, sk.ash_system.entry(ash_id)
+
+
+class TestLivelockGuard:
+    def test_flood_beyond_share_defers_to_normal_path(self):
+        tb, ep, entry = flood_testbed(limit=10, nframes=25)
+        assert entry.invocations == 10           # the per-tick share
+        assert ep.livelock_deferrals == 15
+        assert len(ep.ring) == 15                # lazy path got the rest
+
+    def test_under_limit_never_defers(self):
+        tb, ep, entry = flood_testbed(limit=100, nframes=20)
+        assert entry.invocations == 20
+        assert ep.livelock_deferrals == 0
+
+    def test_zero_limit_disables_guard(self):
+        tb, ep, entry = flood_testbed(limit=0, nframes=30)
+        assert entry.invocations == 30
+        assert ep.livelock_deferrals == 0
+
+    def test_window_resets_next_tick(self):
+        cal = Calibration(ash_livelock_limit=5)
+        tb = make_an2_pair(cal)
+        sk = tb.server_kernel
+        ep = sk.create_endpoint_an2(tb.server_nic, CLIENT_TO_SERVER_VCI,
+                                    nbufs=32)
+        b = AshBuilder("sink")
+        b.v_consume()
+        ash_id = sk.ash_system.download(b.finish(), [])
+        sk.ash_system.bind(ep, ash_id)
+
+        from repro.sim.units import us
+
+        def burst(delay_us):
+            def gen():
+                yield tb.engine.sleep(us(delay_us))
+                for _ in range(8):
+                    tb.client_nic.transmit(
+                        Frame(b"x", vci=CLIENT_TO_SERVER_VCI))
+            return gen()
+
+        tb.engine.spawn(burst(0))
+        tb.engine.spawn(burst(2 * cal.tick_us))  # well into the next tick
+        tb.run()
+        entry = sk.ash_system.entry(ash_id)
+        # each burst of 8 was clipped to 5 in its own window
+        assert entry.invocations == 10
+        assert ep.livelock_deferrals == 6

@@ -1,0 +1,165 @@
+"""Tests for the HTTP and NFS application-layer libraries."""
+
+import pytest
+
+from repro.bench.testbed import make_an2_pair
+from repro.net.headers import ip_aton
+from repro.net.http import HttpServer, http_get
+from repro.net.nfs import (
+    MemFs,
+    NFSERR_EXIST,
+    NFSERR_NOENT,
+    NfsClient,
+    NfsError,
+    NfsServer,
+)
+from repro.net.socket_api import TcpSocket, make_stacks, tcp_pair
+from repro.net.udp import UdpSocket
+
+
+def http_fixture(routes, requests):
+    """Run an HTTP session; returns the list of (status, body) replies."""
+    tb = make_an2_pair()
+    cstack, sstack = make_stacks(tb)
+    client_conn, server_conn = tcp_pair(cstack, sstack)
+    csock, ssock = TcpSocket(client_conn), TcpSocket(server_conn)
+    server = HttpServer(ssock, routes)
+    results = []
+
+    def server_body(proc):
+        yield from ssock.accept(proc)
+        yield from server.serve(proc, max_requests=len(requests))
+
+    def client_body(proc):
+        yield from csock.connect(proc)
+        for path in requests:
+            result = yield from http_get(proc, csock, path)
+            results.append(result)
+
+    tb.server_kernel.spawn_process("http-server", server_body)
+    tb.client_kernel.spawn_process("http-client", client_body)
+    tb.run()
+    return results, server
+
+
+class TestHttp:
+    def test_get_serves_content(self):
+        body = b"<html>hello from the exokernel</html>"
+        results, _ = http_fixture({"/index.html": body}, ["/index.html"])
+        assert results == [(200, body)]
+
+    def test_404_for_missing_path(self):
+        results, _ = http_fixture({"/a": b"x"}, ["/missing"])
+        assert results[0][0] == 404
+
+    def test_multiple_requests_on_one_connection(self):
+        routes = {f"/f{i}": bytes([i]) * (100 * (i + 1)) for i in range(4)}
+        paths = [f"/f{i}" for i in range(4)]
+        results, server = http_fixture(routes, paths)
+        assert [r[0] for r in results] == [200] * 4
+        for path, (status, body) in zip(paths, results):
+            assert body == routes[path]
+        assert server.requests_served == 4
+
+    def test_large_body_transfers(self):
+        big = bytes(range(256)) * 64  # 16 KB
+        results, _ = http_fixture({"/big": big}, ["/big"])
+        assert results[0] == (200, big)
+
+
+def nfs_fixture(client_ops):
+    tb = make_an2_pair()
+    cstack, sstack = make_stacks(tb)
+    csock = UdpSocket(cstack, 800, rx_vci=2)
+    ssock = UdpSocket(sstack, 2049, rx_vci=1)
+    server = NfsServer(ssock)
+    client = NfsClient(csock, ip_aton("10.0.0.2"), 2049)
+    out = {}
+
+    def server_body(proc):
+        yield from server.serve(proc, max_ops=64)
+
+    def client_body(proc):
+        yield from client_ops(proc, client, out)
+
+    tb.server_kernel.spawn_process("nfsd", server_body)
+    tb.client_kernel.spawn_process("nfs-client", client_body)
+    tb.run(until=tb.engine.now + 10**12 if False else None)
+    return server, out
+
+
+class TestNfs:
+    def test_create_write_read_roundtrip(self):
+        payload = bytes(range(200)) * 10
+
+        def ops(proc, client, out):
+            fh = yield from client.create(proc, "data.bin")
+            yield from client.write(proc, fh, 0, payload)
+            out["size"] = yield from client.getattr(proc, fh)
+            out["data"] = yield from client.read(proc, fh, 0, len(payload))
+
+        server, out = nfs_fixture(ops)
+        assert out["size"] == len(payload)
+        assert out["data"] == payload
+
+    def test_lookup_finds_created_file(self):
+        def ops(proc, client, out):
+            fh = yield from client.create(proc, "a.txt")
+            out["fh"] = fh
+            out["looked_up"] = yield from client.lookup(proc, "a.txt")
+
+        _server, out = nfs_fixture(ops)
+        assert out["fh"] == out["looked_up"]
+
+    def test_lookup_missing_raises(self):
+        def ops(proc, client, out):
+            try:
+                yield from client.lookup(proc, "ghost")
+            except NfsError as exc:
+                out["status"] = exc.status
+
+        _server, out = nfs_fixture(ops)
+        assert out["status"] == NFSERR_NOENT
+
+    def test_create_duplicate_raises(self):
+        def ops(proc, client, out):
+            yield from client.create(proc, "dup")
+            try:
+                yield from client.create(proc, "dup")
+            except NfsError as exc:
+                out["status"] = exc.status
+
+        _server, out = nfs_fixture(ops)
+        assert out["status"] == NFSERR_EXIST
+
+    def test_sparse_write_zero_fills(self):
+        def ops(proc, client, out):
+            fh = yield from client.create(proc, "sparse")
+            yield from client.write(proc, fh, 100, b"end")
+            out["data"] = yield from client.read(proc, fh, 0, 103)
+
+        _server, out = nfs_fixture(ops)
+        assert out["data"] == bytes(100) + b"end"
+
+    def test_partial_read_past_eof(self):
+        def ops(proc, client, out):
+            fh = yield from client.create(proc, "short")
+            yield from client.write(proc, fh, 0, b"0123456789")
+            out["data"] = yield from client.read(proc, fh, 5, 100)
+
+        _server, out = nfs_fixture(ops)
+        assert out["data"] == b"56789"
+
+
+class TestMemFs:
+    def test_direct_api(self):
+        fs = MemFs()
+        fh = fs.create("x")
+        fs.write(fh, 0, b"hello")
+        assert fs.read(fh, 0, 5) == b"hello"
+        assert fs.size(fh) == 5
+        assert fs.lookup("x") == fh
+        with pytest.raises(NfsError):
+            fs.lookup("y")
+        with pytest.raises(NfsError):
+            fs.read(999, 0, 1)

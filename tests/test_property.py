@@ -1,0 +1,311 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.errors import MemoryFault, VmFault
+from repro.hw.cache import DirectMappedCache
+from repro.hw.calibration import Calibration
+from repro.hw.memory import PhysicalMemory
+from repro.hw.nic.ethernet import stripe_offset, striped_size
+from repro.net.checksum import (
+    inet_checksum,
+    inet_checksum_final,
+    inet_checksum_numpy,
+    le_fold_final,
+    le_word_sum,
+    swab16,
+)
+from repro.net.headers import IPPROTO_UDP, Ipv4Header, TcpHeader, UdpHeader
+from repro.net.ip import Reassembler, build_packets
+from repro.pipes import (
+    PIPE_WRITE,
+    compile_pl,
+    mk_byteswap_pipe,
+    mk_cksum_pipe,
+    mk_xor_pipe,
+    pipel,
+)
+from repro.sandbox import Sandboxer
+from repro.vcode import VBuilder, Vm, fold_checksum
+from repro.vcode.isa import Insn
+
+SLOW = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestChecksumProperties:
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=60, deadline=None)
+    def test_numpy_matches_reference(self, data):
+        assert inet_checksum_numpy(data) == inet_checksum(data)
+
+    @given(st.binary(min_size=2, max_size=1024).filter(lambda b: len(b) % 2 == 0))
+    @settings(max_examples=60, deadline=None)
+    def test_verification_trick(self, data):
+        """Appending the complemented sum makes the total sum 0xFFFF."""
+        cksum = inet_checksum_final(data)
+        assert inet_checksum(data + cksum.to_bytes(2, "big")) == 0xFFFF
+
+    @given(st.binary(max_size=512).map(lambda b: b + b"\x00" * (-len(b) % 4)))
+    @settings(max_examples=60, deadline=None)
+    def test_le_domain_equivalence(self, data):
+        """The little-endian word sum is the byte-swapped BE sum."""
+        le = le_fold_final(le_word_sum(data))
+        be = inet_checksum_final(data)
+        assert le.to_bytes(2, "little") == be.to_bytes(2, "big")
+
+    @given(st.binary(max_size=256), st.binary(max_size=256))
+    @settings(max_examples=40, deadline=None)
+    def test_concatenation_accumulates(self, a, b):
+        """Summing in chunks equals summing whole (4-byte aligned)."""
+        a = a + b"\x00" * (-len(a) % 4)
+        b = b + b"\x00" * (-len(b) % 4)
+        whole = le_word_sum(a + b)
+        acc = le_word_sum(b)
+        # accumulate a on top of b's sum
+        total = acc + le_word_sum(a)
+        while total > 0xFFFFFFFF:
+            total = (total & 0xFFFFFFFF) + (total >> 32)
+        assert fold_checksum(total) == fold_checksum(whole)
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_swab_involution(self, v):
+        assert swab16(swab16(v)) == v
+
+
+class TestVmProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["addu", "subu", "and", "or", "xor", "sltu",
+                                 "multu"]),
+                st.integers(2, 15), st.integers(2, 15), st.integers(2, 15),
+            ),
+            max_size=30,
+        ),
+        st.lists(st.integers(0, 0xFFFFFFFF), min_size=14, max_size=14),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_alu_matches_python_semantics(self, ops, seeds):
+        """Random straight-line ALU code == a direct Python evaluation."""
+        mem = PhysicalMemory(1 << 16)
+        vm = Vm(mem)
+        b = VBuilder("random")
+        for insn in ops:
+            op, rd, rs, rt = insn
+            b.emit(Insn(op, rd=rd, rs=rs, rt=rt))
+        b.v_ret()
+        regs = [0] * 32
+        for i, seed in enumerate(seeds):
+            regs[2 + i] = seed
+        expected = list(regs)
+        mask = 0xFFFFFFFF
+        for op, rd, rs, rt in ops:
+            a, c = expected[rs], expected[rt]
+            if op == "addu":
+                expected[rd] = (a + c) & mask
+            elif op == "subu":
+                expected[rd] = (a - c) & mask
+            elif op == "and":
+                expected[rd] = a & c
+            elif op == "or":
+                expected[rd] = a | c
+            elif op == "xor":
+                expected[rd] = a ^ c
+            elif op == "sltu":
+                expected[rd] = 1 if a < c else 0
+            elif op == "multu":
+                expected[rd] = (a * c) & mask
+            expected[0] = 0
+        result = vm.run(b.finish(), regs=regs)
+        assert result.regs == expected
+
+    @given(st.integers(1, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_budget_always_terminates(self, budget):
+        """Any budget terminates an infinite loop with BudgetExceeded."""
+        from repro.errors import BudgetExceeded
+
+        b = VBuilder("spin")
+        loop = b.label()
+        b.mark(loop)
+        b.v_j(loop)
+        vm = Vm(PhysicalMemory(1 << 12))
+        with pytest.raises(BudgetExceeded):
+            vm.run(b.finish(), cycle_budget=budget)
+
+
+class TestSandboxProperties:
+    @given(st.integers(0, 3), st.integers(-64, 8192))
+    @settings(max_examples=50, deadline=None)
+    def test_no_store_escapes_allowed_regions(self, reg_off, addr_off):
+        """However the handler computes its store address, either the
+        store lands in the allowed region or the handler faults —
+        memory outside is never modified."""
+        mem = PhysicalMemory(1 << 16)
+        allowed = mem.alloc("allowed", 256)
+        canary = mem.alloc("canary", 256)
+        mem.write(canary.base, b"\xcc" * 256)
+
+        b = VBuilder("storer")
+        reg = b.getreg()
+        b.v_li(reg, allowed.base + addr_off)
+        b.v_st32(b.ZERO, reg, 4 * reg_off)
+        b.v_ret()
+        sandboxed, _ = Sandboxer().sandbox(b.finish())
+        vm = Vm(mem)
+        try:
+            vm.run(sandboxed, allowed=[(allowed.base, allowed.size)])
+        except VmFault:
+            pass
+        assert mem.read(canary.base, 256) == b"\xcc" * 256
+
+    @given(st.lists(st.sampled_from(
+        ["addu", "ld32", "st32", "bne", "jr", "call"]), max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_rewriting_preserves_instruction_order(self, ops):
+        """Original instructions appear in order in the sandboxed code."""
+        b = VBuilder("arbitrary")
+        end = b.label("end")
+        for op in ops:
+            if op == "addu":
+                b.v_addu(8, 9, 10)
+            elif op == "ld32":
+                b.v_ld32(8, 9, 0)
+            elif op == "st32":
+                b.v_st32(8, 9, 0)
+            elif op == "bne":
+                b.v_bne(8, 9, end)
+            elif op == "jr":
+                b.v_jr(8)
+            elif op == "call":
+                b.v_call("ash_send")
+        b.mark(end)
+        b.v_ret()
+        prog = b.finish()
+        sandboxed, report = Sandboxer().sandbox(prog)
+        original_ops = [i.op for i in prog.insns]
+        kept = [i.op for i in sandboxed.insns
+                if not i.op.startswith("chk")]
+        assert kept == original_ops
+        assert report.final_insns >= report.original_insns
+
+
+class TestPipeProperties:
+    @given(
+        st.binary(min_size=4, max_size=512).map(
+            lambda b: b + b"\x00" * (-len(b) % 4)
+        ),
+        st.permutations(["cksum", "bswap", "xor"]),
+        st.integers(0, 0xFFFFFFFF),
+    )
+    @SLOW
+    def test_fast_path_equals_vm_for_any_composition(self, data, order, key):
+        cal = Calibration()
+        outputs = []
+        for runner in ("vm", "fast"):
+            mem = PhysicalMemory(1 << 18)
+            src = mem.alloc("src", max(len(data), 16))
+            dst = mem.alloc("dst", max(len(data), 16))
+            mem.write(src.base, data)
+            cache = DirectMappedCache(cal)
+            pl = pipel()
+            ids = {}
+            for name in order:
+                if name == "cksum":
+                    ids["cksum"] = mk_cksum_pipe(pl)
+                elif name == "bswap":
+                    mk_byteswap_pipe(pl)
+                else:
+                    mk_xor_pipe(pl, key)
+            pipeline = compile_pl(pl, PIPE_WRITE, cal=cal)
+            if runner == "vm":
+                cycles = pipeline.run_vm(
+                    Vm(mem, cache=cache, cal=cal), src.base, dst.base,
+                    len(data),
+                ).cycles
+            else:
+                cycles = pipeline.run_fast(mem, src.base, dst.base,
+                                           len(data), cache)
+            outputs.append(
+                (cycles, mem.read(dst.base, len(data)),
+                 pl.import_(ids["cksum"], "cksum"))
+            )
+        assert outputs[0] == outputs[1]
+
+    @given(st.binary(min_size=4, max_size=256).map(
+        lambda b: b + b"\x00" * (-len(b) % 4)))
+    @SLOW
+    def test_xor_twice_is_identity(self, data):
+        mem = PhysicalMemory(1 << 18)
+        src = mem.alloc("src", max(len(data), 16))
+        dst = mem.alloc("dst", max(len(data), 16))
+        mem.write(src.base, data)
+        pl = pipel()
+        mk_xor_pipe(pl, 0x5A5A5A5A)
+        mk_xor_pipe(pl, 0x5A5A5A5A)
+        compile_pl(pl, PIPE_WRITE).run_fast(mem, src.base, dst.base, len(data))
+        assert mem.read(dst.base, len(data)) == data
+
+
+class TestStripingProperties:
+    @given(st.integers(0, 4000))
+    @settings(max_examples=60, deadline=None)
+    def test_offsets_monotone_and_unique(self, n):
+        offs = [stripe_offset(i) for i in range(min(n, 512))]
+        assert offs == sorted(offs)
+        assert len(set(offs)) == len(offs)
+
+    @given(st.integers(1, 4000))
+    @settings(max_examples=60, deadline=None)
+    def test_striped_size_bounds(self, n):
+        assert n <= striped_size(n) <= 2 * n + 16
+
+
+class TestIpProperties:
+    @given(
+        st.binary(min_size=1, max_size=6000),
+        st.integers(64, 1500),
+        st.integers(0, 0xFFFF),
+        st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fragmentation_roundtrip(self, payload, mtu, ident, reverse):
+        packets = build_packets(1, 2, IPPROTO_UDP, payload, mtu=mtu,
+                                ident=ident)
+        r = Reassembler()
+        if reverse:
+            packets = list(reversed(packets))
+        done = [res for res in map(r.push, packets) if res is not None]
+        assert len(done) == 1
+        assert done[0][1] == payload
+
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF),
+           st.integers(0, 255), st.integers(20, 65535))
+    @settings(max_examples=60, deadline=None)
+    def test_ipv4_header_roundtrip(self, src, dst, proto, length):
+        hdr = Ipv4Header(src=src, dst=dst, proto=proto, total_length=length)
+        back = Ipv4Header.unpack(hdr.pack())
+        assert (back.src, back.dst, back.proto, back.total_length) == (
+            src, dst, proto, length
+        )
+
+
+class TestHeaderProperties:
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF),
+           st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF),
+           st.integers(0, 63), st.integers(0, 0xFFFF))
+    @settings(max_examples=60, deadline=None)
+    def test_tcp_header_roundtrip(self, sp, dp, seq, ack, flags, window):
+        hdr = TcpHeader(src_port=sp, dst_port=dp, seq=seq, ack=ack,
+                        flags=flags, window=window)
+        assert TcpHeader.unpack(hdr.pack()) == hdr
+
+    @given(st.binary(max_size=1024), st.integers(0, 0xFFFFFFFF),
+           st.integers(0, 0xFFFFFFFF))
+    @settings(max_examples=40, deadline=None)
+    def test_udp_checksum_always_verifies(self, payload, src, dst):
+        wire = UdpHeader.build(src, dst, 7, 9, payload)
+        assert UdpHeader.verify(src, dst, wire + payload)

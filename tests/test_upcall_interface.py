@@ -1,0 +1,198 @@
+"""Tests for upcalls and the trusted-call interface details."""
+
+import pytest
+
+from repro.ash.examples import PARAM_REPLY_VCI, build_echo, build_remote_increment
+from repro.ash.handler import AshBuilder
+from repro.ash.interface import AshNotification
+from repro.bench.testbed import (
+    CLIENT_TO_SERVER_VCI,
+    SERVER_TO_CLIENT_VCI,
+    make_an2_pair,
+)
+from repro.hw.link import Frame
+from repro.kernel.upcall import UpcallHandler
+from repro.pipes import PIPE_READ, PIPE_WRITE, compile_pl, mk_cksum_pipe, pipel
+from repro.sim.units import to_us
+
+
+def make_testbed_with_ep():
+    tb = make_an2_pair()
+    ep = tb.server_kernel.create_endpoint_an2(
+        tb.server_nic, CLIENT_TO_SERVER_VCI
+    )
+    return tb, ep
+
+
+class TestUpcalls:
+    def setup_increment_upcall(self, tb, ep):
+        mem = tb.server.memory
+        state = mem.alloc("ustate", 64)
+        mem.store_u32(state.base + 0, state.base + 48)  # counter addr
+        mem.store_u32(state.base + 4, SERVER_TO_CLIENT_VCI)
+        mem.store_u32(state.base + 8, state.base + 56)  # scratch
+        handler = UpcallHandler(
+            program=build_remote_increment(), user_word=state.base + 0,
+        )
+        ep.upcall = handler
+        return handler, state.base + 48
+
+    def test_upcall_consumes_and_replies(self):
+        tb, ep = make_testbed_with_ep()
+        handler, counter = self.setup_increment_upcall(tb, ep)
+        cli_ep = tb.client_kernel.create_endpoint_an2(
+            tb.client_nic, SERVER_TO_CLIENT_VCI
+        )
+        got = []
+
+        def client(proc):
+            yield from tb.client_kernel.sys_net_send(
+                proc, tb.client_nic,
+                Frame((7).to_bytes(4, "little"), vci=CLIENT_TO_SERVER_VCI),
+            )
+            desc = yield from tb.client_kernel.sys_recv_poll(proc, cli_ep)
+            got.append(int.from_bytes(
+                tb.client.memory.read(desc.addr, 4), "little"))
+
+        tb.client_kernel.spawn_process("client", client)
+        tb.run()
+        assert got == [7]
+        assert handler.invocations == 1
+        assert tb.server.memory.load_u32(counter) == 7
+
+    def test_upcall_slower_than_ash(self):
+        times = {}
+        for mode in ("ash", "upcall"):
+            tb, ep = make_testbed_with_ep()
+            mem = tb.server.memory
+            params = mem.alloc("params", 16)
+            mem.store_u32(params.base + PARAM_REPLY_VCI, SERVER_TO_CLIENT_VCI)
+            program = build_echo()
+            if mode == "ash":
+                ash_id = tb.server_kernel.ash_system.download(
+                    program, [(params.base, 16)], user_word=params.base
+                )
+                tb.server_kernel.ash_system.bind(ep, ash_id)
+            else:
+                ep.upcall = UpcallHandler(program=program,
+                                          user_word=params.base)
+            cli_ep = tb.client_kernel.create_endpoint_an2(
+                tb.client_nic, SERVER_TO_CLIENT_VCI
+            )
+            rt = []
+
+            def client(proc):
+                t0 = proc.engine.now
+                yield from tb.client_kernel.sys_net_send(
+                    proc, tb.client_nic,
+                    Frame(b"ping", vci=CLIENT_TO_SERVER_VCI),
+                )
+                yield from tb.client_kernel.sys_recv_poll(proc, cli_ep)
+                rt.append(to_us(proc.engine.now - t0))
+
+            tb.client_kernel.spawn_process("client", client)
+            tb.run()
+            times[mode] = rt[0]
+        assert times["ash"] < times["upcall"]
+
+    def test_faulting_upcall_falls_through(self):
+        tb, ep = make_testbed_with_ep()
+        b = AshBuilder("crasher")
+        reg = b.getreg()
+        b.v_li(reg, 1)
+        b.v_divu(reg, reg, b.ZERO)   # divide by zero
+        b.v_consume()
+        handler = UpcallHandler(program=b.finish())
+        ep.upcall = handler
+        tb.client_nic.transmit(Frame(b"boom", vci=CLIENT_TO_SERVER_VCI))
+        tb.run()
+        assert handler.faults == 1
+        assert len(ep.ring) == 1  # message delivered normally after all
+
+
+class TestTrustedCalls:
+    def test_ash_notify_wakes_owner(self):
+        tb, ep = make_testbed_with_ep()
+        b = AshBuilder("notifier")
+        b.v_call("ash_notify")
+        b.v_consume()
+        ash_id = tb.server_kernel.ash_system.download(b.finish(), [])
+        tb.server_kernel.ash_system.bind(ep, ash_id)
+        woke = []
+
+        def app(proc):
+            token = yield from proc.poll(ep.ring)
+            woke.append(token)
+
+        ep.owner = tb.server_kernel.spawn_process("app", app)
+        tb.client_nic.transmit(Frame(b"data", vci=CLIENT_TO_SERVER_VCI))
+        tb.run()
+        assert len(woke) == 1
+        assert isinstance(woke[0], AshNotification)
+
+    def test_ilp_state_get_set_roundtrip(self):
+        tb, ep = make_testbed_with_ep()
+        mem = tb.server.memory
+        buf = mem.alloc("data", 4096)
+        mem.write(buf.base, bytes(range(64)))
+        pl = pipel()
+        cksum_id = mk_cksum_pipe(pl)
+        read_engine = compile_pl(pl, PIPE_READ, cal=tb.cal)
+        ilp = tb.server_kernel.ash_system.register_ilp(read_engine)
+
+        b = AshBuilder("summer")
+        # zero the accumulator, checksum 64 bytes, return the value
+        b.v_li(b.A0, ilp)
+        b.v_li(b.A1, cksum_id)
+        b.v_li(b.A2, 0)
+        b.v_call("ash_ilp_set")
+        src = b.getreg()
+        b.v_li(src, buf.base)
+        length = b.getreg()
+        b.v_li(length, 64)
+        b.v_li(b.A0, ilp)
+        b.v_move(b.A1, src)
+        b.v_li(b.A2, 0)
+        b.v_move(b.A3, length)
+        b.v_call("ash_dilp")
+        b.v_li(b.A0, ilp)
+        b.v_li(b.A1, cksum_id)
+        b.v_call("ash_ilp_get")
+        # store result into the buffer tail so the test can see it
+        out = b.getreg()
+        b.v_li(out, buf.base + 128)
+        b.v_st32(b.V0, out, 0)
+        b.v_consume()
+
+        ash_id = tb.server_kernel.ash_system.download(
+            b.finish(), [(buf.base, 4096)]
+        )
+        tb.server_kernel.ash_system.bind(ep, ash_id)
+        tb.client_nic.transmit(Frame(b"go", vci=CLIENT_TO_SERVER_VCI))
+        tb.run()
+        from repro.net.checksum import le_word_sum
+
+        assert tb.server.memory.load_u32(buf.base + 128) == le_word_sum(
+            bytes(range(64))
+        )
+
+    def test_send_outside_allowed_region_aborts(self):
+        tb, ep = make_testbed_with_ep()
+        secret = tb.server.memory.alloc("secret", 64)
+        tb.server.memory.write(secret.base, b"TOPSECRET!")
+        b = AshBuilder("exfiltrator")
+        buf = b.getreg()
+        b.v_li(buf, secret.base)
+        length = b.getreg()
+        b.v_li(length, 10)
+        vci = b.getreg()
+        b.v_li(vci, SERVER_TO_CLIENT_VCI)
+        b.v_send(buf, length, vci)
+        b.v_consume()
+        ash_id = tb.server_kernel.ash_system.download(b.finish(), [])
+        tb.server_kernel.ash_system.bind(ep, ash_id)
+        tb.client_nic.transmit(Frame(b"leak", vci=CLIENT_TO_SERVER_VCI))
+        tb.run()
+        entry = tb.server_kernel.ash_system.entry(ash_id)
+        assert entry.involuntary_aborts == 1  # aggregated check refused
+        assert tb.client_nic.rx_frames == 0   # nothing leaked

@@ -1,0 +1,160 @@
+"""Tests for the networking loop factories (copy/checksum/byteswap)."""
+
+import pytest
+
+from repro.hw.cache import DirectMappedCache
+from repro.hw.calibration import Calibration
+from repro.hw.memory import PhysicalMemory
+from repro.net.checksum import inet_checksum, swab16
+from repro.vcode import (
+    Vm,
+    build_byteswap,
+    build_checksum,
+    build_copy,
+    build_integrated,
+    fold_checksum,
+)
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(1 << 20)
+
+
+@pytest.fixture
+def vm(mem):
+    return Vm(mem)
+
+
+def setup_buffers(mem, data):
+    src = mem.alloc("src", max(len(data), 16))
+    dst = mem.alloc("dst", max(len(data), 16))
+    mem.write(src.base, data)
+    return src, dst
+
+
+PAYLOADS = [
+    bytes(range(16)),
+    bytes(range(256)) * 2,
+    b"\xff" * 4,
+    bytes(100),  # not a multiple of 16: exercises the tail loop
+    bytes(range(250)) + b"ab",  # 252 bytes
+]
+
+
+@pytest.mark.parametrize("data", PAYLOADS, ids=[f"len{len(p)}" for p in PAYLOADS])
+class TestLoops:
+    def test_copy_copies(self, vm, mem, data):
+        src, dst = setup_buffers(mem, data)
+        vm.run(build_copy(), args=(src.base, dst.base, len(data)))
+        assert mem.read(dst.base, len(data)) == data
+
+    def test_copy_unroll_1_equivalent(self, vm, mem, data):
+        src, dst = setup_buffers(mem, data)
+        vm.run(build_copy(unroll=1), args=(src.base, dst.base, len(data)))
+        assert mem.read(dst.base, len(data)) == data
+
+    def test_checksum_matches_reference(self, vm, mem, data):
+        src, _dst = setup_buffers(mem, data)
+        result = vm.run(build_checksum(), args=(src.base, 0, len(data)))
+        # little-endian word sums give the byte-swapped reference value
+        assert swab16(fold_checksum(result.value)) == inet_checksum(data)
+
+    def test_byteswap_swaps_words(self, vm, mem, data):
+        src, _dst = setup_buffers(mem, data)
+        vm.run(build_byteswap(), args=(src.base, 0, len(data)))
+        out = mem.read(src.base, len(data))
+        for i in range(0, len(data), 4):
+            assert out[i:i + 4] == data[i:i + 4][::-1]
+
+    def test_integrated_copy_checksum(self, vm, mem, data):
+        src, dst = setup_buffers(mem, data)
+        result = vm.run(
+            build_integrated(do_checksum=True),
+            args=(src.base, dst.base, len(data)),
+        )
+        assert mem.read(dst.base, len(data)) == data
+        assert swab16(fold_checksum(result.value)) == inet_checksum(data)
+
+    def test_integrated_with_byteswap(self, vm, mem, data):
+        src, dst = setup_buffers(mem, data)
+        result = vm.run(
+            build_integrated(do_checksum=True, do_byteswap=True),
+            args=(src.base, dst.base, len(data)),
+        )
+        out = mem.read(dst.base, len(data))
+        for i in range(0, len(data), 4):
+            assert out[i:i + 4] == data[i:i + 4][::-1]
+        # checksum is over the *input* data
+        assert swab16(fold_checksum(result.value)) == inet_checksum(data)
+
+
+class TestCosts:
+    """The cycle shape that Tables III/IV depend on."""
+
+    def run_with_cache(self, mem, program, args):
+        cal = Calibration()
+        cache = DirectMappedCache(cal)
+        vm = Vm(mem, cache=cache, cal=cal)
+        return vm.run(program, args=args), cal
+
+    def test_uncached_copy_is_about_2_cycles_per_byte(self, mem):
+        data = bytes(4096)
+        src, dst = setup_buffers(mem, data)
+        result, cal = self.run_with_cache(
+            mem, build_copy(), (src.base, dst.base, 4096)
+        )
+        cpb = result.cycles / 4096
+        assert 1.8 <= cpb <= 2.2  # ~20 MB/s at 40 MHz (Table III)
+
+    def test_cached_copy_is_much_cheaper(self, mem):
+        data = bytes(4096)
+        src, dst = setup_buffers(mem, data)
+        cal = Calibration()
+        cache = DirectMappedCache(cal)
+        vm = Vm(mem, cache=cache, cal=cal)
+        first = vm.run(build_copy(), args=(src.base, dst.base, 4096))
+        second = vm.run(build_copy(), args=(src.base, dst.base, 4096))
+        assert second.cycles < first.cycles * 0.6
+
+    def test_integrated_beats_separate(self, mem):
+        data = bytes(range(256)) * 16  # 4096 bytes
+        src, dst = setup_buffers(mem, data)
+        cal = Calibration()
+
+        # Separate: copy, then checksum the (cache-warm) destination.
+        cache = DirectMappedCache(cal)
+        vm = Vm(mem, cache=cache, cal=cal)
+        t_copy = vm.run(build_copy(), args=(src.base, dst.base, 4096)).cycles
+        t_cksum = vm.run(build_checksum(), args=(dst.base, 0, 4096)).cycles
+        separate = t_copy + t_cksum
+
+        # Integrated: one traversal.
+        cache2 = DirectMappedCache(cal)
+        vm2 = Vm(mem, cache=cache2, cal=cal)
+        integrated = vm2.run(
+            build_integrated(do_checksum=True), args=(src.base, dst.base, 4096)
+        ).cycles
+
+        assert separate / integrated >= 1.25  # paper: factor ~1.4
+
+    def test_instruction_counts_scale_with_unroll(self, mem):
+        data = bytes(4096)
+        src, dst = setup_buffers(mem, data)
+        vm = Vm(mem)
+        rolled = vm.run(build_copy(unroll=1), args=(src.base, dst.base, 4096))
+        unrolled = vm.run(build_copy(unroll=4), args=(src.base, dst.base, 4096))
+        assert unrolled.insns_executed < rolled.insns_executed
+
+
+def test_fold_checksum_examples():
+    assert fold_checksum(0) == 0
+    assert fold_checksum(0xFFFF) == 0xFFFF
+    assert fold_checksum(0x10000) == 1
+    # 0x1FFFF -> 0xFFFF + 1 = 0x10000 -> 0 + 1 = 1
+    assert fold_checksum(0x1FFFF) == 1
+
+
+def test_fold_checksum_idempotent_on_16bit():
+    for v in (0, 1, 0x1234, 0xFFFF):
+        assert fold_checksum(v) == v

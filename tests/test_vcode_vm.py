@@ -1,0 +1,364 @@
+"""Unit tests for the VCODE ISA, builder and interpreter."""
+
+import pytest
+
+from repro.errors import (
+    ArithmeticFault,
+    BudgetExceeded,
+    JumpFault,
+    MemoryFault,
+    VcodeError,
+    VmFault,
+)
+from repro.hw.cache import DirectMappedCache
+from repro.hw.calibration import Calibration
+from repro.hw.memory import PhysicalMemory
+from repro.vcode import VBuilder, Vm
+from repro.vcode.isa import Insn, assemble
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(1 << 20)
+
+
+@pytest.fixture
+def vm(mem):
+    return Vm(mem)
+
+
+def run_fragment(vm, build, args=()):
+    b = VBuilder("frag")
+    build(b)
+    return vm.run(b.finish(), args=args)
+
+
+class TestArithmetic:
+    def test_addu_wraps_32_bits(self, vm):
+        def build(b):
+            b.v_li(8, 0xFFFFFFFF)
+            b.v_li(9, 2)
+            b.v_addu(b.V0, 8, 9)
+            b.v_ret()
+
+        assert run_fragment(vm, build).value == 1
+
+    def test_subu_wraps(self, vm):
+        def build(b):
+            b.v_li(8, 0)
+            b.v_li(9, 1)
+            b.v_subu(b.V0, 8, 9)
+            b.v_ret()
+
+        assert run_fragment(vm, build).value == 0xFFFFFFFF
+
+    def test_multu_low_word(self, vm):
+        def build(b):
+            b.v_li(8, 0x10000)
+            b.v_li(9, 0x10001)
+            b.v_multu(b.V0, 8, 9)
+            b.v_ret()
+
+        assert run_fragment(vm, build).value == (0x10000 * 0x10001) & 0xFFFFFFFF
+
+    def test_divu(self, vm):
+        def build(b):
+            b.v_li(8, 100)
+            b.v_li(9, 7)
+            b.v_divu(b.V0, 8, 9)
+            b.v_ret()
+
+        assert run_fragment(vm, build).value == 14
+
+    def test_divide_by_zero_faults(self, vm):
+        def build(b):
+            b.v_li(8, 1)
+            b.v_divu(b.V0, 8, b.ZERO)
+            b.v_ret()
+
+        with pytest.raises(ArithmeticFault):
+            run_fragment(vm, build)
+
+    def test_logic_ops(self, vm):
+        def build(b):
+            b.v_li(8, 0b1100)
+            b.v_li(9, 0b1010)
+            b.v_and(10, 8, 9)
+            b.v_or(11, 8, 9)
+            b.v_xor(12, 8, 9)
+            b.v_sll(13, 8, 2)
+            b.v_srl(14, 8, 2)
+            b.v_addu(b.V0, 10, 11)
+            b.v_addu(b.V0, b.V0, 12)
+            b.v_addu(b.V0, b.V0, 13)
+            b.v_addu(b.V0, b.V0, 14)
+            b.v_ret()
+
+        expected = 0b1000 + 0b1110 + 0b0110 + 0b110000 + 0b11
+        assert run_fragment(vm, build).value == expected
+
+    def test_sltu_unsigned_compare(self, vm):
+        def build(b):
+            b.v_li(8, 0xFFFFFFFF)  # huge unsigned, not -1
+            b.v_li(9, 1)
+            b.v_sltu(b.V0, 8, 9)
+            b.v_ret()
+
+        assert run_fragment(vm, build).value == 0
+
+    def test_register_zero_is_hardwired(self, vm):
+        def build(b):
+            b.v_li(b.ZERO, 42)   # write must be discarded
+            b.v_move(b.V0, b.ZERO)
+            b.v_ret()
+
+        assert run_fragment(vm, build).value == 0
+
+
+class TestMemory:
+    def test_load_store_roundtrip(self, vm, mem):
+        region = mem.alloc("buf", 64)
+
+        def build(b):
+            b.v_li(8, 0xDEADBEEF)
+            b.v_st32(8, b.A0, 0)
+            b.v_ld32(b.V0, b.A0, 0)
+            b.v_ret()
+
+        result = run_fragment(vm, build, args=(region.base,))
+        assert result.value == 0xDEADBEEF
+        assert mem.load_u32(region.base) == 0xDEADBEEF
+
+    def test_byte_and_half_access(self, vm, mem):
+        region = mem.alloc("buf", 64)
+        mem.write(region.base, bytes([1, 2, 3, 4]))
+
+        def build(b):
+            b.v_ld8(8, b.A0, 1)
+            b.v_ld16(9, b.A0, 2)
+            b.v_sll(9, 9, 8)
+            b.v_addu(b.V0, 8, 9)
+            b.v_ret()
+
+        result = run_fragment(vm, build, args=(region.base,))
+        assert result.value == 2 + (0x0403 << 8)
+
+    def test_load_outside_physical_memory_faults(self, vm):
+        def build(b):
+            b.v_li(8, 0x7FFFFFFF)
+            b.v_ld32(b.V0, 8, 0)
+            b.v_ret()
+
+        with pytest.raises(MemoryFault):
+            run_fragment(vm, build)
+
+    def test_load_charges_cache_miss(self, mem):
+        cal = Calibration()
+        cache = DirectMappedCache(cal)
+        vm = Vm(mem, cache=cache, cal=cal)
+        region = mem.alloc("buf", 64)
+
+        b = VBuilder("loads")
+        b.v_ld32(8, b.A0, 0)   # miss
+        b.v_ld32(9, b.A0, 4)   # hit (same line)
+        b.v_ret()
+        result = vm.run(b.finish(), args=(region.base,))
+        # 2 loads + ret = 3 base cycles + one miss penalty
+        assert result.cycles == 3 + cal.miss_penalty_cycles
+
+
+class TestControlFlow:
+    def test_loop_sums(self, vm):
+        def build(b):
+            counter, acc = b.getreg(), b.getreg()
+            b.v_li(counter, 10)
+            b.v_li(acc, 0)
+            loop = b.label()
+            done = b.label()
+            b.mark(loop)
+            b.v_beq(counter, b.ZERO, done)
+            b.v_addu(acc, acc, counter)
+            b.v_addiu(counter, counter, -1)
+            b.v_j(loop)
+            b.mark(done)
+            b.v_move(b.V0, acc)
+            b.v_ret()
+
+        assert run_fragment(vm, build).value == 55
+
+    def test_indirect_jump_within_program(self, vm):
+        b = VBuilder("jr")
+        target = b.label("target")
+        b.v_li(8, 4)        # address of instruction index 4 (the mark)
+        b.v_jr(8)
+        b.v_li(b.V0, 111)   # skipped
+        b.v_ret()
+        b.mark(target)      # index 4
+        b.v_li(b.V0, 222)
+        b.v_ret()
+        prog = b.finish()
+        assert prog.labels["target"] == 4
+        assert vm.run(prog).value == 222
+
+    def test_indirect_jump_out_of_range_faults(self, vm):
+        def build(b):
+            b.v_li(8, 1000)
+            b.v_jr(8)
+
+        with pytest.raises(JumpFault):
+            run_fragment(vm, build)
+
+    def test_fallthrough_end_returns(self, vm):
+        def build(b):
+            b.v_li(b.V0, 7)  # no ret: falls off the end
+
+        assert run_fragment(vm, build).value == 7
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(VcodeError):
+            assemble("bad", [Insn("j", label="nowhere")])
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(VcodeError):
+            assemble("bad", [("label", "x"), ("label", "x")])
+
+
+class TestSafetyPrimitives:
+    def test_forbidden_opcode_refused(self, vm):
+        def build(b):
+            b.v_unsafe("fadd", 2, 8, 9)
+            b.v_ret()
+
+        with pytest.raises(VmFault):
+            run_fragment(vm, build)
+
+    def test_cycle_budget_aborts_infinite_loop(self, vm):
+        def build(b):
+            loop = b.label()
+            b.mark(loop)
+            b.v_j(loop)
+
+        b = VBuilder("spin")
+        build(b)
+        with pytest.raises(BudgetExceeded):
+            vm.run(b.finish(), cycle_budget=1000)
+
+    def test_insn_cap_backstop(self, vm):
+        b = VBuilder("spin")
+        loop = b.label()
+        b.mark(loop)
+        b.v_j(loop)
+        with pytest.raises(BudgetExceeded):
+            vm.run(b.finish(), max_insns=100)
+
+    def test_checked_access_inside_allowed_region_passes(self, vm, mem):
+        region = mem.alloc("ok", 64)
+        b = VBuilder("chk")
+        b.emit(Insn("chkst", rs=b.A0, imm=0, rt=4))
+        b.v_li(8, 5)
+        b.v_st32(8, b.A0, 0)
+        b.v_ret()
+        result = vm.run(b.finish(), args=(region.base,),
+                        allowed=[(region.base, region.size)])
+        assert mem.load_u32(region.base) == 5
+
+    def test_checked_access_outside_allowed_region_faults(self, vm, mem):
+        ok = mem.alloc("ok", 64)
+        other = mem.alloc("other", 64)
+        b = VBuilder("chk")
+        b.emit(Insn("chkst", rs=b.A0, imm=0, rt=4))
+        b.v_st32(b.ZERO, b.A0, 0)
+        b.v_ret()
+        with pytest.raises(MemoryFault):
+            vm.run(b.finish(), args=(other.base,),
+                   allowed=[(ok.base, ok.size)])
+
+
+class TestTrustedCalls:
+    def test_call_reads_args_and_returns(self, vm):
+        def double(ctx):
+            return ctx.arg(0) * 2, 10
+
+        b = VBuilder("call")
+        b.v_li(b.A0, 21)
+        b.v_call("double")
+        b.v_ret()
+        result = vm.run(b.finish(), env={"double": double})
+        assert result.value == 42
+        assert result.call_log[0][0] == "double"
+
+    def test_call_extra_cycles_charged(self, vm):
+        def slow(ctx):
+            return 0, 500
+
+        b = VBuilder("call")
+        b.v_call("slow")
+        b.v_ret()
+        result = vm.run(b.finish(), env={"slow": slow})
+        assert result.cycles == 2 + 500  # call + ret + extra
+
+    def test_unknown_call_faults(self, vm):
+        b = VBuilder("call")
+        b.v_call("nonexistent")
+        b.v_ret()
+        with pytest.raises(JumpFault):
+            vm.run(b.finish())
+
+
+class TestExtensionsOps:
+    def test_cksum32_end_around_carry(self, vm):
+        def build(b):
+            b.v_li(8, 0xFFFFFFFF)
+            b.v_li(9, 2)
+            b.v_move(b.V0, 8)
+            b.v_cksum32(b.V0, 9)
+            b.v_ret()
+
+        # 0xFFFFFFFF + 2 = 0x1_0000_0001 -> 0x00000001 + 1 = 2
+        assert run_fragment(vm, build).value == 2
+
+    def test_bswap32(self, vm):
+        def build(b):
+            b.v_li(8, 0x11223344)
+            b.v_bswap32(b.V0, 8)
+            b.v_ret()
+
+        assert run_fragment(vm, build).value == 0x44332211
+
+    def test_bswap16(self, vm):
+        def build(b):
+            b.v_li(8, 0xABCD)
+            b.v_bswap16(b.V0, 8)
+            b.v_ret()
+
+        assert run_fragment(vm, build).value == 0xCDAB
+
+
+class TestPersistentRegisters:
+    def test_persistent_register_survives_runs(self, vm):
+        from repro.vcode import P_VAR
+
+        b = VBuilder("accumulate")
+        acc = b.getreg(P_VAR)
+        b.v_addiu(acc, acc, 1)
+        b.v_move(b.V0, acc)
+        b.v_ret()
+        prog = b.finish()
+        assert acc in prog.persistent_regs
+
+        regs = [0] * 32
+        for expected in (1, 2, 3):
+            result = vm.run(prog, regs=regs)
+            assert result.value == expected
+
+
+class TestDisassembly:
+    def test_disassemble_mentions_labels_and_ops(self):
+        b = VBuilder("show")
+        loop = b.label("loop")
+        b.mark(loop)
+        b.v_addiu(8, 8, 1)
+        b.v_j(loop)
+        text = b.finish().disassemble()
+        assert "loop:" in text
+        assert "addiu" in text

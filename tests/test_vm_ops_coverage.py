@@ -1,0 +1,125 @@
+"""Exhaustive single-op coverage for the remaining VM instructions."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.hw.memory import PhysicalMemory
+from repro.net.tcp.segment import build_segment, parse_segment
+from repro.net.headers import TCP_ACK, TcpHeader
+from repro.vcode import VBuilder, Vm
+
+
+@pytest.fixture
+def vm():
+    return Vm(PhysicalMemory(1 << 16))
+
+
+def run1(vm, emit):
+    b = VBuilder("op")
+    emit(b)
+    b.v_ret()
+    return vm.run(b.finish()).value
+
+
+class TestRemainingAluOps:
+    def test_sltiu(self, vm):
+        assert run1(vm, lambda b: (b.v_li(8, 5), b.v_sltiu(b.V0, 8, 9))) == 1
+        assert run1(vm, lambda b: (b.v_li(8, 9), b.v_sltiu(b.V0, 8, 9))) == 0
+
+    def test_xori_and_andi(self, vm):
+        assert run1(vm, lambda b: (b.v_li(8, 0b1100),
+                                   b.v_xori(b.V0, 8, 0b1010))) == 0b0110
+        assert run1(vm, lambda b: (b.v_li(8, 0xABCD),
+                                   b.v_andi(b.V0, 8, 0xFF))) == 0xCD
+
+    def test_ori(self, vm):
+        assert run1(vm, lambda b: (b.v_li(8, 0xF0),
+                                   b.v_ori(b.V0, 8, 0x0F))) == 0xFF
+
+    def test_nor(self, vm):
+        def emit(b):
+            b.v_li(8, 0x0000FFFF)
+            b.v_li(9, 0x00FF0000)
+            b.v_nor(b.V0, 8, 9)
+
+        assert run1(vm, emit) == 0xFF000000
+
+    def test_sllv_srlv(self, vm):
+        def emit_sllv(b):
+            b.v_li(8, 1)
+            b.v_li(9, 12)
+            b.v_sllv(b.V0, 8, 9)
+
+        assert run1(vm, emit_sllv) == 1 << 12
+
+        def emit_srlv(b):
+            b.v_li(8, 1 << 20)
+            b.v_li(9, 20)
+            b.v_srlv(b.V0, 8, 9)
+
+        assert run1(vm, emit_srlv) == 1
+
+    def test_shift_amounts_masked_to_5_bits(self, vm):
+        def emit(b):
+            b.v_li(8, 1)
+            b.v_li(9, 33)          # 33 & 31 == 1
+            b.v_sllv(b.V0, 8, 9)
+
+        assert run1(vm, emit) == 2
+
+    def test_nop_advances_nothing_but_cycles(self, vm):
+        b = VBuilder("nops")
+        for _ in range(5):
+            b.v_nop()
+        b.v_ret()
+        result = vm.run(b.finish())
+        assert result.value == 0
+        assert result.insns_executed == 6
+
+    def test_st16_ld16_roundtrip(self, vm):
+        mem = vm.memory
+        region = mem.alloc("h", 16)
+
+        b = VBuilder("half")
+        b.v_li(8, 0x1BEEF)         # truncates to 16 bits on store
+        b.v_st16(8, b.A0, 2)
+        b.v_ld16(b.V0, b.A0, 2)
+        b.v_ret()
+        assert vm.run(b.finish(), args=(region.base,)).value == 0xBEEF
+
+    def test_bgeu_taken_and_not(self, vm):
+        def emit(b):
+            done = b.label()
+            b.v_li(8, 7)
+            b.v_li(9, 7)
+            b.v_li(b.V0, 1)
+            b.v_bgeu(8, 9, done)   # equal: taken
+            b.v_li(b.V0, 0)
+            b.mark(done)
+
+        assert run1(vm, emit) == 1
+
+
+class TestSegmentHelpers:
+    def test_build_parse_roundtrip(self):
+        hdr = TcpHeader(src_port=80, dst_port=5000, seq=100, ack=200,
+                        flags=TCP_ACK, window=8192)
+        packet = build_segment(1, 2, hdr, b"payload!", ident=9)
+        seg = parse_segment(packet, ip_addr=0x4000)
+        assert seg.tcp.seq == 100
+        assert seg.payload == b"payload!"
+        assert seg.payload_addr == 0x4000 + 40
+        assert seg.payload_len == 8
+
+    def test_oversized_segment_rejected(self):
+        hdr = TcpHeader(src_port=1, dst_port=2, seq=0, ack=0,
+                        flags=TCP_ACK, window=0)
+        with pytest.raises(ProtocolError, match="fragment"):
+            build_segment(1, 2, hdr, bytes(4000), mtu=1500)
+
+    def test_non_tcp_packet_rejected(self):
+        from repro.net.ip import build_packets
+
+        (pkt,) = build_packets(1, 2, 17, b"udp data", mtu=1500)
+        with pytest.raises(ProtocolError, match="not TCP"):
+            parse_segment(pkt, ip_addr=0)
