@@ -113,3 +113,9 @@ def test_budget_ablation(benchmark):
         vm = Vm(PhysicalMemory(1 << 16), cal=cal)
         with pytest.raises(BudgetExceeded):
             vm.run(sandboxed, cycle_budget=budget_cycles(cal))
+
+
+if __name__ == "__main__":
+    from repro.bench.telemetry_cli import bench_main
+
+    bench_main(run_budget_ablation)

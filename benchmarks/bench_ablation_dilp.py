@@ -91,3 +91,9 @@ def test_ablation_dilp(benchmark):
     compiled = table.value("DPF compiled demux (us)", "MB/s or us")
     interp = table.value("DPF interpreted demux (us)", "MB/s or us")
     assert interp / compiled >= 10.0
+
+
+if __name__ == "__main__":
+    from repro.bench.telemetry_cli import bench_main
+
+    bench_main(run_ablation)

@@ -105,3 +105,9 @@ def test_livelock_ablation(benchmark):
     assert tight > 50
     assert table.value("share = 5/tick", "deferrals") > 0
     assert table.value("guard off", "deferrals") == 0
+
+
+if __name__ == "__main__":
+    from repro.bench.telemetry_cli import bench_main
+
+    bench_main(run_livelock_ablation)

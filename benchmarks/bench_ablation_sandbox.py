@@ -98,3 +98,9 @@ def test_sandbox_ablation(benchmark):
     # the x86 variant emits fewer instructions than the MIPS one
     assert (table.value("x86 segmentation hardware", "program insns")
             < table.value("MIPS software SFI", "program insns"))
+
+
+if __name__ == "__main__":
+    from repro.bench.telemetry_cli import bench_main
+
+    bench_main(run_sandbox_ablation)

@@ -65,3 +65,9 @@ def test_tcp_parameter_sweep(benchmark):
     for m in MSSES:
         assert (table.value(f"mss {m}", "ASH MB/s")
                 > table.value(f"mss {m}", "library MB/s"))
+
+
+if __name__ == "__main__":
+    from repro.bench.telemetry_cli import bench_main
+
+    bench_main(run_tcp_params)

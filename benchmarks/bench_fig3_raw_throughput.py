@@ -43,3 +43,9 @@ def test_fig3_raw_throughput(benchmark):
     assert series[-1] >= 0.9 * PAPER_AT_4K
     # small packets are send-path limited, far below the link rate
     assert series[0] < 0.35 * LINK_MAX
+
+
+if __name__ == "__main__":
+    from repro.bench.telemetry_cli import bench_main
+
+    bench_main(run_fig3)

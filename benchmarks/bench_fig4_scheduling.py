@@ -69,3 +69,9 @@ def test_fig4_scheduling(benchmark):
     # the ASH beats both user-level regimes at every point
     for a, r, b in zip(ash, rr, boost):
         assert a < r and a < b
+
+
+if __name__ == "__main__":
+    from repro.bench.telemetry_cli import bench_main
+
+    bench_main(run_fig4)

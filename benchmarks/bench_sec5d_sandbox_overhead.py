@@ -72,3 +72,9 @@ def test_sec5d_sandbox_overhead(benchmark):
     assert len(specific) == 10  # the paper's hand-crafted count, exactly
     assert report.added_insns > 0
     assert len(sandboxed) < len(generic)
+
+
+if __name__ == "__main__":
+    from repro.bench.telemetry_cli import bench_main
+
+    bench_main(run_sec5d)

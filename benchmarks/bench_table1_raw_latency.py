@@ -44,3 +44,9 @@ def test_table1_raw_latency(benchmark):
     # absolute agreement
     for label, ref in PAPER.items():
         assert within_factor(table.value(label, "latency"), ref, 1.15)
+
+
+if __name__ == "__main__":
+    from repro.bench.telemetry_cli import bench_main
+
+    bench_main(run_table1)

@@ -120,3 +120,9 @@ def test_table2_udp_tcp(benchmark):
             assert within_factor(v(label, col), refs[col], 1.45), (
                 label, col, v(label, col), refs[col]
             )
+
+
+if __name__ == "__main__":
+    from repro.bench.telemetry_cli import bench_main
+
+    bench_main(run_table2)

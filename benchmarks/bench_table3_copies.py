@@ -43,3 +43,9 @@ def test_table3_copy_throughput(benchmark):
     # absolute values in the paper's band
     for label, ref in PAPER.items():
         assert within_factor(table.value(label, "MB/s"), ref, 1.25)
+
+
+if __name__ == "__main__":
+    from repro.bench.telemetry_cli import bench_main
+
+    bench_main(run_table3)

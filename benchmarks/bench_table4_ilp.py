@@ -67,3 +67,9 @@ def test_table4_ilp(benchmark):
         for label, refs in PAPER.items():
             ref = refs[0] if col == "copy&cksum" else refs[1]
             assert within_factor(table.value(label, col), ref, 1.3)
+
+
+if __name__ == "__main__":
+    from repro.bench.telemetry_cli import bench_main
+
+    bench_main(run_table4)

@@ -98,3 +98,9 @@ def test_table5_remote_increment(benchmark):
             assert within_factor(table.value(state, col), ref, 1.25), (
                 state, col, table.value(state, col), ref
             )
+
+
+if __name__ == "__main__":
+    from repro.bench.telemetry_cli import bench_main
+
+    bench_main(run_table5)

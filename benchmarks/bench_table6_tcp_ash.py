@@ -97,3 +97,9 @@ def test_table6_tcp_handlers(benchmark):
     assert gain_small > gain_big
     # handlers keep >90% of the large-MSS advantage pattern at small MSS
     assert small["Sandboxed ASH"] > small["User (poll)"] > small["User (intr)"]
+
+
+if __name__ == "__main__":
+    from repro.bench.telemetry_cli import bench_main
+
+    bench_main(run_table6)

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Validate telemetry sidecar files against the versioned export schema.
+
+Usage::
+
+    python benchmarks/check_metrics_schema.py [FILES...]
+
+Without arguments, every ``*.telemetry.json`` / ``*.trace.json`` under
+``benchmarks/results/`` is checked.  Exits nonzero on any violation.
+The test suite imports :func:`validate_metrics` / :func:`validate_chrome`
+directly, so exporter drift fails CI rather than silently producing
+unreadable sidecars.
+
+Stdlib only — this is structural validation, not jsonschema.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+SCHEMA = "repro-telemetry"
+CHROME_SCHEMA = "repro-telemetry-chrome"
+SUPPORTED_VERSIONS = (1,)
+
+_NUM = (int, float)
+
+
+def _check(errors: list[str], cond: bool, msg: str) -> bool:
+    if not cond:
+        errors.append(msg)
+    return cond
+
+
+def _validate_labels(errors: list[str], where: str, labels) -> None:
+    if not _check(errors, isinstance(labels, dict), f"{where}: labels must be an object"):
+        return
+    for key in labels:
+        _check(errors, isinstance(key, str), f"{where}: label key {key!r} must be a string")
+
+
+def _validate_metrics_block(errors: list[str], where: str, metrics) -> None:
+    if not _check(errors, isinstance(metrics, dict), f"{where}: metrics must be an object"):
+        return
+    for kind in ("counters", "gauges", "histograms"):
+        items = metrics.get(kind)
+        if not _check(errors, isinstance(items, list), f"{where}: metrics.{kind} must be a list"):
+            continue
+        for i, item in enumerate(items):
+            w = f"{where}.{kind}[{i}]"
+            if not _check(errors, isinstance(item, dict), f"{w}: must be an object"):
+                continue
+            _check(errors, isinstance(item.get("name"), str), f"{w}: missing string 'name'")
+            _validate_labels(errors, w, item.get("labels", {}))
+            if kind == "histograms":
+                for key in ("count", "sum", "max"):
+                    _check(errors, isinstance(item.get(key), _NUM), f"{w}: missing numeric {key!r}")
+                buckets = item.get("buckets")
+                counts = item.get("counts")
+                if _check(errors, isinstance(buckets, list), f"{w}: missing 'buckets' list") and \
+                        _check(errors, isinstance(counts, list), f"{w}: missing 'counts' list"):
+                    _check(errors, len(counts) == len(buckets) + 1,
+                           f"{w}: counts must have len(buckets)+1 entries "
+                           f"({len(counts)} vs {len(buckets)}+1)")
+                    _check(errors, list(buckets) == sorted(buckets),
+                           f"{w}: bucket bounds must be sorted")
+            else:
+                _check(errors, isinstance(item.get("value"), _NUM), f"{w}: missing numeric 'value'")
+
+
+def _validate_spans_block(errors: list[str], where: str, spans) -> None:
+    if not _check(errors, isinstance(spans, dict), f"{where}: spans must be an object"):
+        return
+    for key in ("created", "finished", "open", "dropped"):
+        _check(errors, isinstance(spans.get(key), int), f"{where}: spans.{key} must be an int")
+    for i, rec in enumerate(spans.get("records", [])):
+        w = f"{where}.records[{i}]"
+        if not _check(errors, isinstance(rec, dict), f"{w}: must be an object"):
+            continue
+        _check(errors, isinstance(rec.get("id"), int), f"{w}: missing int 'id'")
+        _check(errors, isinstance(rec.get("name"), str), f"{w}: missing string 'name'")
+        _check(errors, isinstance(rec.get("start_ps"), int), f"{w}: missing int 'start_ps'")
+        events = rec.get("events")
+        if not _check(errors, isinstance(events, list), f"{w}: missing 'events' list"):
+            continue
+        prev = rec.get("start_ps", 0)
+        for j, event in enumerate(events):
+            ew = f"{w}.events[{j}]"
+            if not _check(errors, isinstance(event, list) and len(event) == 2,
+                          f"{ew}: must be a [stage, time] pair"):
+                continue
+            stage, at = event
+            _check(errors, isinstance(stage, str), f"{ew}: stage must be a string")
+            if _check(errors, isinstance(at, int), f"{ew}: time must be an int"):
+                _check(errors, at >= prev, f"{ew}: stage times must be monotonic")
+                prev = at
+
+
+def validate_metrics(doc) -> list[str]:
+    """Structural errors in a ``repro-telemetry`` document (metrics sidecar)."""
+    errors: list[str] = []
+    if not _check(errors, isinstance(doc, dict), "document must be an object"):
+        return errors
+    _check(errors, doc.get("schema") == SCHEMA,
+           f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    _check(errors, doc.get("version") in SUPPORTED_VERSIONS,
+           f"unsupported version {doc.get('version')!r}")
+    # both shapes are valid: a multi-node envelope, or one node snapshot
+    nodes = doc.get("nodes") if "nodes" in doc else [doc]
+    if not _check(errors, isinstance(nodes, list), "'nodes' must be a list"):
+        return errors
+    for i, node in enumerate(nodes):
+        where = f"nodes[{i}]"
+        if not _check(errors, isinstance(node, dict), f"{where}: must be an object"):
+            continue
+        _check(errors, isinstance(node.get("source"), str), f"{where}: missing string 'source'")
+        _check(errors, isinstance(node.get("sim_time_ps"), int),
+               f"{where}: missing int 'sim_time_ps'")
+        _validate_metrics_block(errors, where, node.get("metrics"))
+        _validate_spans_block(errors, where, node.get("spans"))
+    return errors
+
+
+def validate_chrome(doc) -> list[str]:
+    """Structural errors in a ``repro-telemetry-chrome`` trace document."""
+    errors: list[str] = []
+    if not _check(errors, isinstance(doc, dict), "document must be an object"):
+        return errors
+    _check(errors, doc.get("schema") == CHROME_SCHEMA,
+           f"schema must be {CHROME_SCHEMA!r}, got {doc.get('schema')!r}")
+    _check(errors, doc.get("version") in SUPPORTED_VERSIONS,
+           f"unsupported version {doc.get('version')!r}")
+    events = doc.get("traceEvents")
+    if not _check(errors, isinstance(events, list), "'traceEvents' must be a list"):
+        return errors
+    for i, event in enumerate(events):
+        w = f"traceEvents[{i}]"
+        if not _check(errors, isinstance(event, dict), f"{w}: must be an object"):
+            continue
+        _check(errors, isinstance(event.get("name"), str), f"{w}: missing string 'name'")
+        ph = event.get("ph")
+        _check(errors, ph in ("X", "M", "i", "B", "E"), f"{w}: unsupported phase {ph!r}")
+        _check(errors, isinstance(event.get("pid"), int), f"{w}: missing int 'pid'")
+        _check(errors, isinstance(event.get("tid"), int), f"{w}: missing int 'tid'")
+        if ph in ("X", "i"):
+            _check(errors, isinstance(event.get("ts"), _NUM), f"{w}: missing numeric 'ts'")
+        if ph == "X":
+            dur = event.get("dur")
+            if _check(errors, isinstance(dur, _NUM), f"{w}: missing numeric 'dur'"):
+                _check(errors, dur >= 0, f"{w}: 'dur' must be non-negative")
+    return errors
+
+
+def validate_file(path: str) -> list[str]:
+    """Validate one sidecar file, dispatching on its 'schema' key."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: document must be an object"]
+    schema = doc.get("schema")
+    if schema == SCHEMA:
+        return validate_metrics(doc)
+    if schema == CHROME_SCHEMA:
+        return validate_chrome(doc)
+    return [f"{path}: unknown schema {schema!r}"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        paths = argv
+    else:
+        results = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+        paths = sorted(
+            glob.glob(os.path.join(results, "*.telemetry.json"))
+            + glob.glob(os.path.join(results, "*.trace.json"))
+        )
+        if not paths:
+            print("no telemetry sidecars found; nothing to check")
+            return 0
+    failed = 0
+    for path in paths:
+        errors = validate_file(path)
+        if errors:
+            failed += 1
+            print(f"FAIL {path}")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            print(f"ok   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,17 +3,26 @@
 
 Run the benchmarks first (``pytest benchmarks/ --benchmark-only``), then
 ``python benchmarks/make_experiments_md.py``.
+
+``--trace`` additionally runs a small canonical workload (a UDP echo
+round trip plus an ASH remote increment) with telemetry enabled and
+writes ``results/canonical.telemetry.json`` / ``canonical.trace.json``
+sidecars; ``--metrics-out PATH`` redirects the metrics sidecar.  The
+capture is deterministic: the same sources produce the same bytes.
 """
 
 from __future__ import annotations
 
+import argparse
 import glob
 import json
 import os
+import sys
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 RESULTS = os.path.join(HERE, "results")
 OUT = os.path.join(os.path.dirname(HERE), "EXPERIMENTS.md")
+sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
 
 ORDER = [
     "table1_raw_latency",
@@ -157,7 +166,29 @@ def complexity_section() -> str:
     return "\n".join(lines)
 
 
+def capture_canonical_telemetry(metrics_out: str | None) -> None:
+    """Run the canonical telemetry capture and write its sidecars."""
+    from repro import telemetry
+    from repro.bench.telemetry_cli import write_sidecars
+    from repro.bench.workloads import remote_increment, udp_pingpong
+
+    with telemetry.session() as sess:
+        udp_pingpong(iters=2, warmup=1)
+        remote_increment(mode="ash", iters=2, warmup=1)
+    metrics_path, trace_path = write_sidecars(sess, "canonical", metrics_out)
+    print(f"wrote {metrics_path}")
+    print(f"wrote {trace_path}")
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", action="store_true",
+                        help="also capture canonical telemetry sidecars")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="metrics sidecar path (implies --trace)")
+    args = parser.parse_args()
+    if args.trace or args.metrics_out is not None:
+        capture_canonical_telemetry(args.metrics_out)
     sections = [HEADER, complexity_section()]
     seen = set()
     for name in ORDER:
@@ -170,7 +201,10 @@ def main() -> None:
             sections.append(table_md(json.load(fh)))
         seen.add(name)
     for path in sorted(glob.glob(os.path.join(RESULTS, "*.json"))):
-        name = os.path.splitext(os.path.basename(path))[0]
+        base = os.path.basename(path)
+        if base.endswith((".telemetry.json", ".trace.json")):
+            continue  # telemetry sidecars, not BenchTables
+        name = os.path.splitext(base)[0]
         if name not in seen and name not in ORDER:
             with open(path) as fh:
                 sections.append(table_md(json.load(fh)))

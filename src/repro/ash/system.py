@@ -33,7 +33,12 @@ from ..errors import SandboxViolation, VcodeError, VmFault
 from ..hw.calibration import PRIO_INTERRUPT
 from ..hw.nic.ethernet import striped_size
 from ..pipes.compiler import IntegratedPipeline
-from ..sandbox.budget import BudgetPolicy, budget_cycles, straightline_cycle_bound
+from ..sandbox.budget import (
+    BudgetAccount,
+    BudgetPolicy,
+    budget_cycles,
+    straightline_cycle_bound,
+)
 from ..sandbox.rewriter import SandboxPolicy, Sandboxer, SandboxReport
 from ..sandbox.verifier import has_loops
 from ..vcode.isa import NUM_REGS, Program
@@ -66,6 +71,32 @@ class AshEntry:
     consumed: int = 0
     voluntary_aborts: int = 0
     involuntary_aborts: int = 0
+    #: per-invocation cycle accounting against the abort budget
+    account: Optional[BudgetAccount] = None
+
+    def stats(self) -> dict:
+        out = {
+            "name": self.program.name,
+            "sandboxed": self.sandboxed,
+            "budget_policy": self.budget.value,
+            "static_bound": self.static_bound,
+            "invocations": self.invocations,
+            "consumed": self.consumed,
+            "voluntary_aborts": self.voluntary_aborts,
+            "involuntary_aborts": self.involuntary_aborts,
+        }
+        if self.account is not None:
+            out["cycles"] = self.account.snapshot()
+        if self.report is not None:
+            out["sandbox"] = {
+                "original_insns": self.report.original_insns,
+                "final_insns": self.report.final_insns,
+                "added_insns": self.report.added_insns,
+                "checks_inserted": self.report.checks_inserted,
+                "jumps_guarded": self.report.jumps_guarded,
+                "budget_probes": self.report.budget_probes,
+            }
+        return out
 
 
 class AshSystem:
@@ -128,7 +159,14 @@ class AshSystem:
             sandboxed=sandbox,
             budget=budget,
             static_bound=static_bound,
+            account=BudgetAccount(budget=budget_cycles(self.cal)),
         )
+        tel = self.kernel.node.telemetry
+        if tel.enabled:
+            tel.counter("ash.downloads").inc()
+            if report is not None:
+                tel.gauge("ash.sandbox_added_insns",
+                          handler=program.name).set(report.added_insns)
         return ash_id
 
     def entry(self, ash_id: int) -> AshEntry:
@@ -146,6 +184,8 @@ class AshSystem:
         ilp_id = self._next_ilp
         self._next_ilp += 1
         self._ilps[ilp_id] = pipeline
+        # DILP runs report their cycles/fusion savings to this node
+        pipeline.telemetry = self.kernel.node.telemetry
         return ilp_id
 
     def get_ilp(self, ilp_id: int) -> IntegratedPipeline:
@@ -173,6 +213,9 @@ class AshSystem:
         kernel = self.kernel
         cpu = kernel.node.cpu
         cal = self.cal
+        tel = kernel.node.telemetry
+        span = desc.meta.get("span")
+        handler_name = entry.program.name
 
         # install addressing context + user stack; arm the abort timer
         # unless the budget was proven statically or is enforced by
@@ -183,6 +226,10 @@ class AshSystem:
         if uses_timer:
             invoke_us += cal.ash_timer_setup_us
         yield from cpu.exec_us(invoke_us, PRIO_INTERRUPT)
+        if span is not None:
+            span.stage("sandbox_entry", kernel.engine.now)
+        if tel.enabled:
+            tel.counter("ash.invocations", handler=handler_name).inc()
 
         msg_span = striped_size(desc.length) if desc.striped else desc.length
         allowed = entry.allowed
@@ -204,18 +251,59 @@ class AshSystem:
         except VmFault as exc:
             entry.involuntary_aborts += 1
             burnt = getattr(exc, "cycles", 0)
+            entry.account.charge(burnt)
             yield from cpu.exec(burnt, PRIO_INTERRUPT)
             if uses_timer:
                 yield from cpu.exec_us(cal.ash_timer_clear_us, PRIO_INTERRUPT)
             kernel.node.trace("ash.involuntary_abort",
                               f"{entry.program.name}: {exc}")
+            if tel.enabled:
+                tel.counter("ash.involuntary_aborts",
+                            handler=handler_name).inc()
+                tel.counter("ash.cycles_total", handler=handler_name).inc(burnt)
             return False
 
         yield from kernel.charge_with_sends(result, pending, PRIO_INTERRUPT)
         if uses_timer:
             yield from cpu.exec_us(cal.ash_timer_clear_us, PRIO_INTERRUPT)
+        remaining = entry.account.charge(result.cycles)
+        if span is not None:
+            span.stage("ash_run", kernel.engine.now)
+        if tel.enabled:
+            self._record_run(tel, entry, handler_name, result, remaining)
         if result.value == ASH_CONSUMED:
             entry.consumed += 1
             return True
         entry.voluntary_aborts += 1
+        if tel.enabled:
+            tel.counter("ash.voluntary_aborts", handler=handler_name).inc()
         return False
+
+    def _record_run(self, tel, entry: AshEntry, handler_name: str,
+                    result, remaining: int) -> None:
+        """Per-invocation cycle/budget metrics for one completed run."""
+        from ..telemetry import CYCLE_BUCKETS
+
+        tel.counter("ash.cycles_total", handler=handler_name).inc(result.cycles)
+        tel.histogram("ash.cycles", buckets=CYCLE_BUCKETS,
+                      handler=handler_name).observe(result.cycles)
+        tel.gauge("ash.budget_remaining_cycles",
+                  handler=handler_name).set(remaining)
+        report = entry.report
+        if report is not None and report.final_insns:
+            # estimated share of this run spent in sandbox checks (the
+            # inserted instructions, pro-rated over the dynamic mix)
+            overhead = result.cycles * report.added_insns // report.final_insns
+            tel.counter("ash.sandbox_overhead_cycles_est",
+                        handler=handler_name).inc(overhead)
+
+    # -- introspection ------------------------------------------------------
+    def stats(self) -> dict:
+        """Deterministic per-handler accounting for ``kernel.stats()``."""
+        return {
+            "handlers": [
+                self._entries[ash_id].stats()
+                for ash_id in sorted(self._entries)
+            ],
+            "ilps": sorted(self._ilps),
+        }

@@ -33,6 +33,8 @@ from ..pipes import (
     pipel,
 )
 from ..sandbox.rewriter import Sandboxer
+from ..sim.engine import Engine
+from ..telemetry import Telemetry
 from ..vcode import (
     Vm,
     build_byteswap,
@@ -130,6 +132,9 @@ def ilp_throughput(cal: Calibration = DEFAULT,
     if with_byteswap:
         mk_byteswap_pipe(pl)
     pipeline = compile_pl(pl, PIPE_WRITE, cal=cal)
+    # no Node here, so give the pipeline a standalone hub: it registers
+    # with any active telemetry session and is free when none is open.
+    pipeline.telemetry = Telemetry(Engine(), source="micro.ilp")
     t = pipeline.run_fast(mem, src.base, dst.base, SIZE, cache)
     results["DILP"] = _mbps(SIZE, t, cal)
     return results

@@ -1,0 +1,84 @@
+"""Standalone benchmark entry points with telemetry sidecars.
+
+Every ``benchmarks/bench_*.py`` file can be run directly::
+
+    PYTHONPATH=src python benchmarks/bench_table1_raw_latency.py
+    PYTHONPATH=src python benchmarks/bench_table1_raw_latency.py --trace
+
+Without flags the experiment runs exactly as under pytest (telemetry
+stays off, numbers are bit-identical).  With ``--trace`` the whole run
+executes inside a telemetry session and two deterministic sidecars land
+next to the results JSON:
+
+* ``<name>.telemetry.json`` — the multi-node metrics/spans snapshot
+  (``repro-telemetry`` schema, validated by
+  ``benchmarks/check_metrics_schema.py``),
+* ``<name>.trace.json`` — Chrome ``trace_event`` output for
+  ``chrome://tracing`` / Perfetto.
+
+``--metrics-out PATH`` redirects the metrics sidecar.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import Callable, Optional
+
+from .. import telemetry
+from .results import BenchTable, results_dir
+
+__all__ = ["bench_main", "write_sidecars"]
+
+
+def write_sidecars(
+    sess: "telemetry.Session",
+    name: str,
+    metrics_out: Optional[str] = None,
+) -> tuple[str, str]:
+    """Write the metrics + Chrome-trace sidecars for a finished session.
+
+    Returns the two paths.  Span event lists are elided from the metrics
+    sidecar (the Chrome trace carries the full timelines) so the file
+    stays reviewable.
+    """
+    metrics_path = metrics_out or os.path.join(
+        results_dir(), f"{name}.telemetry.json"
+    )
+    trace_path = os.path.join(results_dir(), f"{name}.trace.json")
+    telemetry.write_json(
+        metrics_path, sess.export_metrics(include_span_events=False)
+    )
+    telemetry.write_json(trace_path, sess.export_chrome())
+    return metrics_path, trace_path
+
+
+def bench_main(
+    run_fn: Callable[[], BenchTable], argv: Optional[list[str]] = None
+) -> BenchTable:
+    """Run one table-producing experiment from the command line."""
+    parser = argparse.ArgumentParser(
+        description=run_fn.__doc__ or "run one reproduction benchmark"
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="run with telemetry enabled and write metrics/trace sidecars",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="where to write the metrics sidecar (implies --trace)",
+    )
+    args = parser.parse_args(argv)
+    want = args.trace or args.metrics_out is not None
+
+    with telemetry.session(enabled=want) as sess:
+        table = run_fn()
+    print(table.format())
+    table.save()
+    if want:
+        metrics_path, trace_path = write_sidecars(
+            sess, table.name, args.metrics_out
+        )
+        print(f"telemetry: {metrics_path}")
+        print(f"trace:     {trace_path}")
+    return table

@@ -51,6 +51,8 @@ class Nic:
         self.link_end: int = 0
         #: the kernel installs this; called with an RxDescriptor
         self.rx_callback: Optional[Callable[[RxDescriptor], None]] = None
+        #: the owning node installs its telemetry hub in ``add_nic``
+        self.telemetry = None
         self.rx_frames = 0
         self.tx_frames = 0
         self.rx_dropped = 0
@@ -66,15 +68,31 @@ class Nic:
         if self.link is None:
             raise RuntimeError(f"{self.name}: not attached to a link")
         self.tx_frames += 1
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.counter("nic.tx_frames", nic=self.name).inc()
+            tel.counter("nic.tx_bytes", nic=self.name).inc(len(frame.data))
         self.link.send(self.link_end, frame)
 
     # -- receive ----------------------------------------------------------
     def _on_wire_frame(self, frame: Frame) -> None:
         desc = self._dma(frame)
+        tel = self.telemetry
         if desc is None:
             self.rx_dropped += 1
+            if tel is not None and tel.enabled:
+                tel.counter("nic.rx_dropped", nic=self.name).inc()
             return
         self.rx_frames += 1
+        if tel is not None and tel.enabled:
+            tel.counter("nic.rx_frames", nic=self.name).inc()
+            tel.counter("nic.rx_bytes", nic=self.name).inc(desc.length)
+            # the packet-lifecycle span starts here, riding on the
+            # descriptor through the whole delivery hierarchy
+            now = self.engine.now
+            span = tel.spans.begin(f"{self.name}.rx", now)
+            span.stage("nic_rx", now)
+            desc.meta["span"] = span
         if self.rx_callback is not None:
             self.rx_callback(desc)
 

@@ -6,6 +6,7 @@ from typing import Optional, TYPE_CHECKING
 
 from ..sim.engine import Engine
 from ..sim.trace import Tracer
+from ..telemetry import Telemetry
 from .cache import DirectMappedCache
 from .calibration import Calibration, DEFAULT
 from .cpu import Cpu
@@ -36,6 +37,7 @@ class Node:
         self.dcache = DirectMappedCache(cal)
         self.cpu = Cpu(engine, cal, name=f"{name}.cpu")
         self.tracer = tracer if tracer is not None else Tracer(engine)
+        self.telemetry = Telemetry(engine, source=name, tracer=self.tracer)
         self.nics: dict[str, Nic] = {}
         #: installed by the kernel package at boot
         self.kernel: Optional["Kernel"] = None
@@ -44,10 +46,11 @@ class Node:
         if nic.name in self.nics:
             raise ValueError(f"duplicate NIC name {nic.name!r} on {self.name}")
         self.nics[nic.name] = nic
+        nic.telemetry = self.telemetry
         return nic
 
     def trace(self, tag: str, payload: object = None) -> None:
-        self.tracer.emit(self.name, tag, payload)
+        self.telemetry.trace(self.name, tag, payload)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Node {self.name} nics={list(self.nics)}>"

@@ -89,8 +89,9 @@ def _compile(predicates: tuple[Predicate, ...]) -> Callable[[bytes], bool]:
 class DpfEngine:
     """The kernel's packet-filter table."""
 
-    def __init__(self, cal: Calibration):
+    def __init__(self, cal: Calibration, telemetry=None):
         self.cal = cal
+        self.telemetry = telemetry
         self._filters: dict[int, Filter] = {}
         self._next_id = 1
         self.compiled_mode = True   #: False = interpreted (ablation)
@@ -101,6 +102,10 @@ class DpfEngine:
         fid = self._next_id
         self._next_id += 1
         self._filters[fid] = Filter(fid, preds, _compile(preds))
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.counter("dpf.inserts").inc()
+            tel.gauge("dpf.table_size").set(len(self._filters))
         return fid
 
     def remove(self, filter_id: int) -> None:
@@ -130,4 +135,10 @@ class DpfEngine:
             if self.compiled_mode
             else self.cal.dpf_interpreted_demux_us
         )
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            if best is not None:
+                tel.counter("dpf.matches", filter=best.filter_id).inc()
+            else:
+                tel.counter("dpf.misses").inc()
         return (best.filter_id if best else None), cost

@@ -90,13 +90,24 @@ class Kernel(SyscallInterface):
         self.scheduler = RoundRobinScheduler(
             self, boost_on_packet=boost_on_packet, ultrix_costs=ultrix_costs
         )
-        self.dpf = DpfEngine(self.cal)
+        self.dpf = DpfEngine(self.cal, telemetry=node.telemetry)
         self.upcalls = UpcallManager(self)
         self.endpoints: list[Endpoint] = []
         self._by_vci: dict[tuple[str, int], Endpoint] = {}
         self._by_filter: dict[int, Endpoint] = {}
         self.rx_interrupts = 0
         self.demux_misses = 0
+        # telemetry: instruments are created once here; each op on them
+        # is a no-op branch while the node's hub is disabled
+        tel = node.telemetry
+        self.telemetry = tel
+        self._m_rx_interrupts = tel.counter("kernel.rx_interrupts")
+        self._m_demux_misses = tel.counter("kernel.demux_misses")
+        self._m_demux_us = tel.histogram("kernel.demux_us")
+        self._m_livelock = tel.counter("kernel.livelock_deferrals")
+        #: span of the message currently being delivered (so transmit
+        #: paths reached from inside handlers can tag the reply)
+        self._active_span = None
         # the ASH runtime (imported here to keep layering one-way)
         from ..ash.system import AshSystem
         self.ash_system = AshSystem(self)
@@ -169,6 +180,9 @@ class Kernel(SyscallInterface):
         )
         yield from self.node.cpu.exec_us(cost, PRIO_KERNEL)
         nic.transmit(frame)
+        span = self._active_span
+        if span is not None:
+            span.stage("nic_tx", self.engine.now)
 
     # -- receive path --------------------------------------------------------
     def _on_rx(self, desc: RxDescriptor) -> None:
@@ -178,6 +192,8 @@ class Kernel(SyscallInterface):
         cpu = self.node.cpu
         cal = self.cal
         self.rx_interrupts += 1
+        self._m_rx_interrupts.inc()
+        span = desc.meta.get("span")
 
         if isinstance(desc.nic, An2Nic):
             # driver cost incl. the post-DMA software cache flush
@@ -189,10 +205,15 @@ class Kernel(SyscallInterface):
             self.node.dcache.flush_range(desc.addr, striped_size(desc.length))
             fid, demux_us = self.dpf.classify(desc.frame.data)
             yield from cpu.exec_us(demux_us, PRIO_INTERRUPT)
+            self._m_demux_us.observe(demux_us)
             ep = self._by_filter.get(fid) if fid is not None else None
+        if span is not None:
+            span.stage("demux", self.engine.now)
 
         if ep is None:
             self.demux_misses += 1
+            self._m_demux_misses.inc()
+            self._finish_span(desc, "demux_miss")
             self._recycle(desc)
             return
         ep.rx_count += 1
@@ -201,48 +222,71 @@ class Kernel(SyscallInterface):
     def _deliver(self, ep: Endpoint, desc: RxDescriptor) -> Generator:
         cpu = self.node.cpu
         cal = self.cal
+        span = desc.meta.get("span")
+        self._active_span = span
+        try:
+            if ep.kernel_handler is not None:
+                consumed = yield from ep.kernel_handler(self, ep, desc)
+                if consumed:
+                    if span is not None:
+                        span.stage("kernel_handler", self.engine.now)
+                    self._finish_span(desc, "kernel_handler")
+                    self._recycle(desc)
+                    return
 
-        if ep.kernel_handler is not None:
-            consumed = yield from ep.kernel_handler(self, ep, desc)
-            if consumed:
-                self._recycle(desc)
-                return
+            if ep.ash_id is not None and self._ash_admission(ep):
+                consumed = yield from self.ash_system.invoke(ep, desc)
+                if consumed:
+                    self._finish_span(desc, "ash")
+                    self._recycle(desc)
+                    return
 
-        if ep.ash_id is not None and self._ash_admission(ep):
-            consumed = yield from self.ash_system.invoke(ep, desc)
-            if consumed:
-                self._recycle(desc)
-                return
+            if ep.upcall is not None:
+                consumed = yield from self.upcalls.dispatch(ep, ep.upcall, desc)
+                if consumed:
+                    self._finish_span(desc, "upcall")
+                    self._recycle(desc)
+                    return
 
-        if ep.upcall is not None:
-            consumed = yield from self.upcalls.dispatch(ep, ep.upcall, desc)
-            if consumed:
-                self._recycle(desc)
-                return
+            # -- normal path ------------------------------------------------
+            if isinstance(desc.nic, EthernetNic):
+                # The device ring is scarce: copy out now, then return the slot.
+                if not ep.kbufs:
+                    self._finish_span(desc, "no_kbuf_drop")
+                    self._recycle(desc)  # no kernel buffer: drop
+                    return
+                kbuf = ep.kbufs.pop(0)
+                cycles = self._eth_copy_out(desc, kbuf)
+                yield from cpu.exec(cycles, PRIO_INTERRUPT)
+                if span is not None:
+                    span.stage("copy", self.engine.now)
+                tel = self.telemetry
+                if tel.enabled:
+                    tel.counter("copy.bytes", kind="eth_copyout").inc(desc.length)
+                    tel.counter("copy.cycles", kind="eth_copyout").inc(cycles)
+                desc.nic.return_slot(desc.addr)
+                desc.addr = kbuf
+                desc.striped = False
+                desc.meta["kbuf"] = True
 
-        # -- normal path ------------------------------------------------
-        if isinstance(desc.nic, EthernetNic):
-            # The device ring is scarce: copy out now, then return the slot.
-            if not ep.kbufs:
-                self._recycle(desc)  # no kernel buffer: drop
-                return
-            kbuf = ep.kbufs.pop(0)
-            cycles = self._eth_copy_out(desc, kbuf)
-            yield from cpu.exec(cycles, PRIO_INTERRUPT)
-            desc.nic.return_slot(desc.addr)
-            desc.addr = kbuf
-            desc.striped = False
-            desc.meta["kbuf"] = True
+            if span is not None:
+                span.stage("ring_enqueue", self.engine.now)
+            ep.ring.put(desc)
+            if ep.owner is not None:
+                sched = self.scheduler
+                if sched.boost_on_packet and sched.current is not ep.owner:
+                    wake = cal.interrupt_wake_us + sched.nprocs * cal.sched_scan_us
+                    if sched.ultrix_costs:
+                        wake += cal.ultrix_fixed_us
+                    yield from cpu.exec_us(wake, PRIO_INTERRUPT)
+                sched.on_packet(ep.owner)
+        finally:
+            self._active_span = None
 
-        ep.ring.put(desc)
-        if ep.owner is not None:
-            sched = self.scheduler
-            if sched.boost_on_packet and sched.current is not ep.owner:
-                wake = cal.interrupt_wake_us + sched.nprocs * cal.sched_scan_us
-                if sched.ultrix_costs:
-                    wake += cal.ultrix_fixed_us
-                yield from cpu.exec_us(wake, PRIO_INTERRUPT)
-            sched.on_packet(ep.owner)
+    def _finish_span(self, desc: RxDescriptor, outcome: str) -> None:
+        span = desc.meta.get("span")
+        if span is not None:
+            self.telemetry.spans.finish(span, self.engine.now, outcome)
 
     def _ash_admission(self, ep: Endpoint) -> bool:
         """Receive-livelock guard (Section VI-4).
@@ -264,6 +308,7 @@ class Kernel(SyscallInterface):
             ep.ash_window_count = 0
         if ep.ash_window_count >= limit:
             ep.livelock_deferrals += 1
+            self._m_livelock.inc()
             return False
         ep.ash_window_count += 1
         return True
@@ -276,6 +321,7 @@ class Kernel(SyscallInterface):
                 pipel(name="ethcopy"), PIPE_WRITE,
                 interface=Interface.ETH_STRIPED, cal=self.cal,
             )
+            self._eth_copy_engine.telemetry = self.telemetry
         n = desc.length - (desc.length % 4)  # word-aligned body
         cycles = 0
         if n:
@@ -299,6 +345,10 @@ class Kernel(SyscallInterface):
 
     def _replenish(self, ep: Endpoint, desc: RxDescriptor) -> Generator:
         """Syscall back end: application returns a buffer it was using."""
+        span = desc.meta.get("span")
+        if span is not None:
+            span.stage("app_consume", self.engine.now)
+            self._finish_span(desc, "app")
         if isinstance(desc.nic, EthernetNic) and desc.meta.get("kbuf"):
             ep.kbufs.append(desc.addr)
         else:
@@ -317,8 +367,52 @@ class Kernel(SyscallInterface):
         sends = [entry for entry in result.call_log
                  if entry[0] in ("ash_send", "net_send")]
         charged = 0
+        span = self._active_span
         for (name, at_cycles, _v), (nic, frame) in zip(sends, pending):
             yield from cpu.exec(at_cycles - charged, prio)
             charged = at_cycles
             nic.transmit(frame)
+            if span is not None:
+                span.stage("nic_tx", self.engine.now)
         yield from cpu.exec(result.cycles - charged, prio)
+
+    # -- introspection ------------------------------------------------------
+    def stats(self) -> dict:
+        """A deterministic snapshot of kernel-level accounting.
+
+        Works with telemetry on or off (the plain attribute counters are
+        always maintained); with the hub enabled the metrics snapshot is
+        included alongside.
+        """
+        out = {
+            "node": self.node.name,
+            "time_ps": self.engine.now,
+            "rx_interrupts": self.rx_interrupts,
+            "demux_misses": self.demux_misses,
+            "context_switches": self.scheduler.context_switches,
+            "endpoints": [
+                {
+                    "name": ep.name,
+                    "rx_count": ep.rx_count,
+                    "livelock_deferrals": ep.livelock_deferrals,
+                    "has_ash": ep.ash_id is not None,
+                    "has_upcall": ep.upcall is not None,
+                    "has_kernel_handler": ep.kernel_handler is not None,
+                }
+                for ep in self.endpoints
+            ],
+            "ash": self.ash_system.stats(),
+            "nics": {
+                nic.name: {
+                    "rx_frames": nic.rx_frames,
+                    "tx_frames": nic.tx_frames,
+                    "rx_dropped": nic.rx_dropped,
+                }
+                for nic in sorted(self.node.nics.values(),
+                                  key=lambda n: n.name)
+            },
+        }
+        if self.telemetry.enabled:
+            out["metrics"] = self.telemetry.registry.snapshot()
+            out["spans"] = self.telemetry.spans.snapshot(include_events=False)
+        return out

@@ -49,6 +49,9 @@ class RoundRobinScheduler:
         self._wakeup: Optional[Event] = None
         self._last_scheduled: Optional["Process"] = None
         self.context_switches = 0
+        tel = kernel.node.telemetry
+        self._m_switches = tel.counter("sched.context_switches")
+        self._m_boosts = tel.counter("sched.packet_boosts")
         self._proc = self.engine.spawn(self._loop(), name="scheduler")
 
     # -- run-queue operations (called by kernel/processes) -----------------
@@ -85,6 +88,7 @@ class RoundRobinScheduler:
             return
         self._remove(proc)
         self.ready.appendleft(proc)
+        self._m_boosts.inc()
         if self.current is not None:
             self._end_slice()
         self._kick()
@@ -125,6 +129,7 @@ class RoundRobinScheduler:
             if proc is not self._last_scheduled and self._last_scheduled is not None:
                 # full context switch: address space + register state
                 self.context_switches += 1
+                self._m_switches.inc()
                 yield from cpu.exec_us(self.cal.context_switch_us, PRIO_KERNEL)
             self._last_scheduled = proc
             self.current = proc

@@ -60,11 +60,22 @@ class UpcallManager:
         kernel = self.kernel
         cpu = kernel.node.cpu
         cal = self.cal
+        tel = kernel.node.telemetry
+        span = desc.meta.get("span")
         # batching machinery + switch into the application's address space
         yield from cpu.exec_us(
             cal.upcall_batch_check_us + cal.upcall_dispatch_us, PRIO_INTERRUPT
         )
         handler.invocations += 1
+        if span is not None:
+            span.stage("upcall", kernel.engine.now)
+        kernel.node.trace(
+            "upcall.dispatch",
+            lambda: {"handler": handler.name, "endpoint": ep.name,
+                     "len": desc.length},
+        )
+        if tel.enabled:
+            tel.counter("upcall.invocations", handler=handler.name).inc()
 
         from ..ash.interface import build_handler_env  # lazy: avoid cycle
 
@@ -83,9 +94,16 @@ class UpcallManager:
             # At user level a fault would take down the app, not the
             # kernel; for the benchmarks we just account the time burnt.
             handler.faults += 1
+            kernel.node.trace("upcall.fault",
+                              lambda: f"{handler.name}: {exc}")
+            if tel.enabled:
+                tel.counter("upcall.faults", handler=handler.name).inc()
             yield from cpu.exec(getattr(exc, "cycles", 0), PRIO_INTERRUPT)
             yield from cpu.exec_us(cal.upcall_return_us, PRIO_INTERRUPT)
             return False
         yield from kernel.charge_with_sends(result, pending, PRIO_INTERRUPT)
         yield from cpu.exec_us(cal.upcall_return_us, PRIO_INTERRUPT)
+        if tel.enabled:
+            tel.counter("upcall.cycles_total",
+                        handler=handler.name).inc(result.cycles)
         return result.value == 1

@@ -47,10 +47,18 @@ class DataPath:
         self.mem = node.memory
         self.cache: DirectMappedCache = node.dcache
         self.cal: Calibration = node.cal
+        self.tel = node.telemetry
         pl = pipel(name="datapath")
         self._cksum_pipe_id = mk_cksum_pipe(pl)
         self._pl = pl
         self._integrated = compile_pl(pl, PIPE_WRITE, cal=node.cal)
+        self._integrated.telemetry = node.telemetry
+
+    def _record(self, op: str, nbytes: int, cycles: int) -> None:
+        tel = self.tel
+        if tel.enabled:
+            tel.counter("datapath.bytes", op=op).inc(nbytes)
+            tel.counter("datapath.cycles", op=op).inc(cycles)
 
     # -- copies ------------------------------------------------------------
     def copy(self, src: int, dst: int, nbytes: int) -> int:
@@ -72,6 +80,7 @@ class DataPath:
         )
         cycles += self.cache.touch_range(src, nbytes, is_store=False)
         self.cache.touch_range(dst, nbytes, is_store=True)
+        self._record("copy", nbytes, cycles)
         return cycles
 
     def copy_in(self, dst: int, data: bytes) -> int:
@@ -93,6 +102,7 @@ class DataPath:
             + self.cal.miss_penalty_cycles * ((n + line - 1) // line)
         )
         self.cache.touch_range(dst, n, is_store=True)
+        self._record("copy_in", n, cycles)
         return cycles
 
     # -- checksums ----------------------------------------------------------
@@ -114,6 +124,7 @@ class DataPath:
         words_touched = (nbytes + 3) // 4
         cycles = _LOOP_FIXED + words_touched * _CKSUM_WORD
         cycles += self.cache.touch_range(addr, nbytes, is_store=False)
+        self._record("checksum", nbytes, cycles)
         return total, cycles
 
     def checksum_final(self, addr: int, nbytes: int, init: int = 0) -> tuple[int, int]:

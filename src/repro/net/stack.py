@@ -43,6 +43,8 @@ class NetStack:
     ):
         self.kernel = kernel
         self.nic = nic
+        self.node = kernel.node
+        self.tel = kernel.node.telemetry
         self.ip = ip_aton(ip)
         self.datapath = DataPath(kernel.node)
         self.reassembler = Reassembler()
@@ -95,6 +97,12 @@ class NetStack:
     def frame_for(self, dst_ip: int, ip_packet: bytes,
                   dst_mac: Optional[bytes] = None) -> Frame:
         """Wrap an IP packet for this stack's medium."""
+        if self.tel.enabled:
+            self.tel.counter("net.tx_frames").inc()
+            self.node.trace(
+                "net.tx_frame",
+                lambda: {"dst_ip": f"{dst_ip:#010x}", "len": len(ip_packet)},
+            )
         if self.is_an2:
             return Frame(ip_packet, vci=self.tx_vci(dst_ip))
         if dst_mac is None:
@@ -110,6 +118,7 @@ class NetStack:
     def resolve_mac(self, proc: "Process", dst_ip: int) -> Generator:
         if self.is_an2:
             return b"\x00" * 6
+        self.node.trace("net.arp_resolve", lambda: {"dst_ip": f"{dst_ip:#010x}"})
         result = yield from resolve(
             proc, self.kernel, self.nic, self.ip, self.mac,
             self.arp_cache, self.arp_ep, dst_ip,
@@ -118,6 +127,8 @@ class NetStack:
 
     def ip_payload_view(self, desc) -> tuple[int, int]:
         """(address, length) of the IP packet within a received frame."""
+        if self.tel.enabled:
+            self.node.trace("net.rx_ip", lambda: {"len": desc.length})
         if self.is_an2:
             return desc.addr, desc.length
         return desc.addr + EthernetHeader.SIZE, desc.length - EthernetHeader.SIZE

@@ -90,6 +90,7 @@ class TcpConnection:
         self.stack = stack
         self.kernel = stack.kernel
         self.cal = stack.kernel.cal
+        self.tel = stack.kernel.node.telemetry
         self.checksum = checksum
         self.in_place = in_place
         self.interrupt_driven = interrupt_driven
@@ -377,6 +378,14 @@ class TcpConnection:
         sh.lib_busy = 1
         try:
             ip_addr, ip_len = self.stack.ip_payload_view(desc)
+            span = desc.meta.get("span")
+            if span is not None:
+                span.stage("tcp_segment", proc.engine.now)
+            if self.tel.enabled:
+                self.tel.counter("tcp.rx_segments", conn=self.name).inc()
+                self.kernel.node.trace(
+                    "tcp.rx_segment", lambda: {"conn": self.name, "len": ip_len}
+                )
             raw = mem.read(ip_addr, ip_len)
             try:
                 seg = parse_segment(raw, ip_addr)
@@ -543,6 +552,11 @@ class TcpConnection:
     # ------------------------------------------------------------------
     def _frame_and_send(self, proc: "Process", packet: bytes) -> Generator:
         frame = self.stack.frame_for(self.tcb.remote_ip, packet, self._dst_mac)
+        if self.tel.enabled:
+            self.tel.counter("tcp.tx_segments", conn=self.name).inc()
+            self.kernel.node.trace(
+                "tcp.tx_segment", lambda: {"conn": self.name, "len": len(packet)}
+            )
         yield from self.kernel.sys_net_send(proc, self.stack.nic, frame)
         self._last_send_ticks = proc.engine.now
 

@@ -94,6 +94,7 @@ class UdpSocket:
         mem = self.kernel.node.memory
         self._staging = mem.alloc(f"{name}.staging", 65536)
         self._app_buf = mem.alloc(f"{name}.appbuf", app_buf_size)
+        self.tel = self.kernel.node.telemetry
         self.rx_datagrams = 0
         self.tx_datagrams = 0
         self.checksum_failures = 0
@@ -135,6 +136,13 @@ class UdpSocket:
             frame = stack.frame_for(dst_ip, packet, dst_mac)
             yield from kernel.sys_net_send(proc, stack.nic, frame)
         self.tx_datagrams += 1
+        if self.tel.enabled:
+            self.tel.counter("udp.tx_datagrams", port=self.local_port).inc()
+            kernel.node.trace(
+                "udp.sendto",
+                lambda: {"port": self.local_port, "dst_port": dst_port,
+                         "len": len(payload)},
+            )
 
     # -- receive -------------------------------------------------------------
     def recvfrom(self, proc: "Process", block: bool = False) -> Generator:
@@ -184,6 +192,9 @@ class UdpSocket:
                 yield from proc.compute_us(cal.cksum_fixed_us)
                 if not UdpHeader.verify(ip_header.src, ip_header.dst, datagram):
                     self.checksum_failures += 1
+                    if self.tel.enabled:
+                        self.tel.counter("udp.checksum_failures",
+                                         port=self.local_port).inc()
                     yield from kernel.sys_replenish(proc, self.endpoint, desc)
                     continue
 
@@ -201,9 +212,21 @@ class UdpSocket:
                 addr = self._app_buf.base
                 cycles = stack.datapath.copy(src, addr, payload_len)
                 yield from proc.compute(cycles)
+                span = desc.meta.get("span")
+                if span is not None:
+                    span.stage("copy", kernel.engine.now)
+                if self.tel.enabled:
+                    self.tel.counter("copy.bytes", kind="udp_rx").inc(payload_len)
+                    self.tel.counter("copy.cycles", kind="udp_rx").inc(cycles)
                 payload = datagram[payload_off:payload_off + payload_len]
             yield from kernel.sys_replenish(proc, self.endpoint, desc)
             self.rx_datagrams += 1
+            if self.tel.enabled:
+                self.tel.counter("udp.rx_datagrams", port=self.local_port).inc()
+                kernel.node.trace(
+                    "udp.recvfrom",
+                    lambda: {"port": self.local_port, "len": payload_len},
+                )
             return UdpDatagram(
                 payload=payload,
                 src_ip=ip_header.src,

@@ -81,6 +81,10 @@ class _Sections:
     tail_check: int = 0
     tail_iter: int = 0
     epilogue: int = 0
+    #: of main_iter/tail_iter, the cycles spent in pipe bodies (the rest
+    #: is traversal scaffolding: loads, stores, pointer steps, jumps)
+    main_chain: int = 0
+    tail_chain: int = 0
 
 
 class IntegratedPipeline:
@@ -105,6 +109,8 @@ class IntegratedPipeline:
         self.program = program
         self.sections = sections
         self.state_regs = state_regs
+        #: set by the ASH system / data path so runs report metrics
+        self.telemetry = None
 
     # -- properties -----------------------------------------------------
     @property
@@ -144,6 +150,38 @@ class IntegratedPipeline:
             + s.epilogue
         )
 
+    def overhead_cycles(self, nbytes: int) -> int:
+        """Cycles of one transfer spent in loop scaffolding (loads,
+        stores, pointer steps, checks) rather than pipe bodies."""
+        main, tail = self._iters(nbytes)
+        s = self.sections
+        return (
+            self.loop_cycles(nbytes)
+            - main * s.main_chain
+            - tail * s.tail_chain
+        )
+
+    def fusion_saved_cycles(self, nbytes: int) -> int:
+        """Estimated cycles saved by integration: running the n pipes as
+        separate loops would pay the traversal scaffold n times instead
+        of once ("performs the actions of multiple pipes during a single
+        data copy")."""
+        npipes = len(list(self.pl))
+        if npipes <= 1:
+            return 0
+        return (npipes - 1) * self.overhead_cycles(nbytes)
+
+    def _record(self, nbytes: int, cycles: int) -> None:
+        tel = self.telemetry
+        if tel is None or not tel.enabled:
+            return
+        loop = self.program.name
+        tel.counter("dilp.runs", loop=loop).inc()
+        tel.counter("dilp.bytes", loop=loop).inc(nbytes)
+        tel.counter("dilp.cycles", loop=loop).inc(cycles)
+        tel.counter("dilp.saved_cycles",
+                    loop=loop).inc(self.fusion_saved_cycles(nbytes))
+
     def _cache_stalls(
         self, cache: DirectMappedCache, src: int, dst: Optional[int], nbytes: int
     ) -> int:
@@ -182,6 +220,7 @@ class IntegratedPipeline:
         result = vm.run(self.program, args=(src, dst, nbytes), regs=regs)
         for key, reg in self.state_regs.items():
             self.pl.state[key] = regs[reg]
+        self._record(nbytes, result.cycles)
         return result
 
     def run_fast(
@@ -224,6 +263,7 @@ class IntegratedPipeline:
         cycles = self.loop_cycles(nbytes)
         if cache is not None:
             cycles += self._cache_stalls(cache, src, dst, nbytes)
+        self._record(nbytes, cycles)
         return cycles
 
     def run(
@@ -373,7 +413,9 @@ def compile_pl(
         else:
             off = w * WORD
         b.v_ld32(word, b.A0, off)
+        chain_mark = len(b.items)
         final = _emit_pipe_chain(b, pipes, state_regs, word, scratch)
+        sections.main_chain += section_cost(chain_mark)
         if mode is TransferMode.WRITE:
             b.v_st32(final, b.A1, w * WORD)
         elif mode is TransferMode.INPLACE:
@@ -393,7 +435,9 @@ def compile_pl(
 
     mark = len(b.items)
     b.v_ld32(word, b.A0, 0)
+    chain_mark = len(b.items)
     final = _emit_pipe_chain(b, pipes, state_regs, word, scratch)
+    sections.tail_chain += section_cost(chain_mark)
     if mode is TransferMode.WRITE:
         b.v_st32(final, b.A1, 0)
     elif mode is TransferMode.INPLACE:

@@ -15,11 +15,17 @@ Section III-B3 describes three approaches, all implemented here:
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 
 from ..hw.calibration import Calibration
 from ..vcode.isa import Program, insn_cost
 
-__all__ = ["BudgetPolicy", "straightline_cycle_bound", "budget_cycles"]
+__all__ = [
+    "BudgetPolicy",
+    "BudgetAccount",
+    "straightline_cycle_bound",
+    "budget_cycles",
+]
 
 
 class BudgetPolicy(enum.Enum):
@@ -51,3 +57,47 @@ def straightline_cycle_bound(program: Program, cal: Calibration) -> int:
 def budget_cycles(cal: Calibration) -> int:
     """The timer budget: two clock ticks, expressed in cycles."""
     return cal.us_to_cycles(cal.ash_budget_ticks * cal.tick_us)
+
+
+@dataclass
+class BudgetAccount:
+    """Runtime cycle accounting for one downloaded handler.
+
+    Tracks every invocation's cycles against the abort budget so the
+    telemetry layer (and ``kernel.stats()``) can report how close each
+    handler runs to its bound — the tunability knob sPIN-style systems
+    expose per handler.
+    """
+
+    budget: int                  #: the per-invocation cycle budget
+    invocations: int = 0
+    cycles_total: int = 0
+    cycles_last: int = 0
+    cycles_max: int = 0
+    overruns: int = 0            #: invocations that hit/exceeded the budget
+
+    def charge(self, cycles: int) -> int:
+        """Record one invocation; returns the budget remaining after it."""
+        self.invocations += 1
+        self.cycles_last = cycles
+        self.cycles_total += cycles
+        if cycles > self.cycles_max:
+            self.cycles_max = cycles
+        if cycles >= self.budget:
+            self.overruns += 1
+        return self.budget - cycles
+
+    @property
+    def remaining_last(self) -> int:
+        return self.budget - self.cycles_last
+
+    def snapshot(self) -> dict:
+        return {
+            "budget_cycles": self.budget,
+            "invocations": self.invocations,
+            "cycles_total": self.cycles_total,
+            "cycles_last": self.cycles_last,
+            "cycles_max": self.cycles_max,
+            "remaining_last": self.remaining_last,
+            "overruns": self.overruns,
+        }

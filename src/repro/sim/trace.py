@@ -4,6 +4,11 @@ Subsystems emit ``(time, source, tag, payload)`` records through a
 shared :class:`Tracer`.  Tracing is off by default (zero overhead beyond
 a boolean check) and can be scoped to tags, which keeps multi-megabyte
 TCP runs debuggable without drowning in events.
+
+Payloads may be **zero-arg callables**: they are only invoked once the
+enabled/tag gates have passed, so hot paths can describe rich payloads
+(``lambda: {"len": desc.length, ...}``) without paying any string or
+dict construction when tracing is off.
 """
 
 from __future__ import annotations
@@ -43,6 +48,8 @@ class Tracer:
             return
         if self.tags is not None and tag not in self.tags:
             return
+        if callable(payload):  # lazy payloads: resolved only when recorded
+            payload = payload()
         self.records.append(TraceRecord(self.engine.now, source, tag, payload))
 
     def clear(self) -> None:

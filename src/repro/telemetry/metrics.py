@@ -1,0 +1,210 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Stdlib-only, deterministic, and near-zero cost when disabled: every
+instrument shares its registry's ``enabled`` flag, so a disabled
+``inc()`` is one attribute load and one branch.  Instruments are
+identified by ``(name, labels)`` — repeated lookups return the same
+object, so hot paths can (and should) cache the instrument once at
+setup time and skip the dictionary lookup entirely.
+
+Snapshots are plain JSON-serializable dicts with deterministic ordering
+(sorted by name, then label tuple): two identical simulation runs
+produce byte-identical snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "US_BUCKETS",
+    "CYCLE_BUCKETS",
+    "BYTE_BUCKETS",
+]
+
+#: default buckets for microsecond latencies (upper bounds; +inf implied)
+US_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+#: default buckets for per-invocation CPU cycle counts
+CYCLE_BUCKETS: tuple[float, ...] = (
+    25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000,
+)
+
+#: default buckets for byte counts (message/copy sizes)
+BYTE_BUCKETS: tuple[float, ...] = (
+    16, 64, 256, 1024, 1500, 4096, 8192, 16384, 65536,
+)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class _Instrument:
+    __slots__ = ("registry", "name", "labels")
+
+    kind = "instrument"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, labels: dict):
+        self.registry = registry
+        self.name = name
+        self.labels = labels
+
+    def _data(self) -> dict:
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        out = {"name": self.name, "labels": dict(self.labels)}
+        out.update(self._data())
+        return out
+
+
+class Counter(_Instrument):
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self, registry, name, labels):
+        super().__init__(registry, name, labels)
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if self.registry.enabled:
+            self.value += n
+
+    def _data(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (last-write-wins)."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self, registry, name, labels):
+        super().__init__(registry, name, labels)
+        self.value = 0
+
+    def set(self, v) -> None:
+        if self.registry.enabled:
+            self.value = v
+
+    def add(self, n=1) -> None:
+        if self.registry.enabled:
+            self.value += n
+
+    def _data(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram(_Instrument):
+    """A fixed-bucket histogram (cumulative-free, one count per bucket).
+
+    ``buckets`` are upper bounds; observations beyond the last bound
+    land in the implicit overflow bucket.  ``sum``/``count``/``max``
+    ride along so means fall out without re-deriving.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count", "max")
+
+    kind = "histogram"
+
+    def __init__(self, registry, name, labels,
+                 buckets: Sequence[float] = US_BUCKETS):
+        super().__init__(registry, name, labels)
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0
+        self.count = 0
+        self.max = 0
+
+    def observe(self, v) -> None:
+        if not self.registry.enabled:
+            return
+        i = 0
+        for bound in self.buckets:
+            if v <= bound:
+                break
+            i += 1
+        self.counts[i] += 1
+        self.sum += v
+        self.count += 1
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def _data(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Per-node instrument store.
+
+    The ``enabled`` flag is shared by reference with every instrument;
+    flipping it turns the whole registry on or off without invalidating
+    instruments call sites may have cached.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: dict[tuple, _Instrument] = {}
+
+    def _get(self, cls, name: str, labels: dict, **kwargs):
+        key = (cls.kind, name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(self, name, labels, **kwargs)
+            self._instruments[key] = inst
+        return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None,
+                  **labels) -> Histogram:
+        if buckets is None:
+            return self._get(Histogram, name, labels)
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def snapshot(self) -> dict:
+        """Deterministic dump: kind -> sorted list of instrument dicts."""
+        out: dict[str, list] = {"counters": [], "gauges": [], "histograms": []}
+        plural = {"counter": "counters", "gauge": "gauges",
+                  "histogram": "histograms"}
+        for key in sorted(self._instruments):
+            inst = self._instruments[key]
+            out[plural[inst.kind]].append(inst.snapshot())
+        return out
+
+    def value(self, name: str, **labels):
+        """Convenience lookup for tests: the instrument's current value."""
+        for kind in ("counter", "gauge"):
+            inst = self._instruments.get((kind, name, _label_key(labels)))
+            if inst is not None:
+                return inst.value
+        inst = self._instruments.get(("histogram", name, _label_key(labels)))
+        if inst is not None:
+            return inst
+        raise KeyError(f"no instrument {name!r} with labels {labels!r}")

@@ -1,0 +1,370 @@
+"""Tests for the telemetry subsystem: registry, spans, accounting, export."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.ash.examples import (
+    PARAM_COUNTER,
+    PARAM_REPLY_VCI,
+    PARAM_SCRATCH,
+    build_remote_increment,
+)
+from repro.bench.testbed import (
+    CLIENT_TO_SERVER_VCI,
+    SERVER_TO_CLIENT_VCI,
+    make_an2_pair,
+)
+from repro.bench.workloads import udp_pingpong
+from repro.hw.link import Frame
+from repro.sandbox.budget import budget_cycles
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+from repro.telemetry import (
+    CHROME_SCHEMA,
+    SCHEMA,
+    SCHEMA_VERSION,
+    MetricsRegistry,
+    Telemetry,
+)
+
+
+def _load_schema_checker():
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "benchmarks", "check_metrics_schema.py",
+    )
+    spec = importlib.util.spec_from_file_location("check_metrics_schema", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("rx", nic="an2").inc()
+        reg.counter("rx", nic="an2").inc(2)
+        reg.gauge("depth").set(7)
+        h = reg.histogram("lat", buckets=(1, 10, 100))
+        for v in (0.5, 5, 50, 500):
+            h.observe(v)
+        assert reg.value("rx", nic="an2") == 3
+        assert reg.value("depth") == 7
+        assert h.count == 4
+        assert h.counts == [1, 1, 1, 1]  # one per bucket + overflow
+        assert h.max == 500
+        assert h.mean == pytest.approx((0.5 + 5 + 50 + 500) / 4)
+
+    def test_same_name_different_labels_are_distinct(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("rx", nic="a").inc()
+        reg.counter("rx", nic="b").inc(5)
+        assert reg.value("rx", nic="a") == 1
+        assert reg.value("rx", nic="b") == 5
+
+    def test_disabled_registry_is_a_no_op(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("rx")
+        h = reg.histogram("lat")
+        c.inc(100)
+        h.observe(42)
+        reg.gauge("g").set(9)
+        assert c.value == 0
+        assert h.count == 0
+        assert reg.value("g") == 0
+
+    def test_snapshot_is_sorted_and_json_serializable(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("z").inc()
+        reg.counter("a").inc()
+        snap = reg.snapshot()
+        names = [c["name"] for c in snap["counters"]]
+        assert names == sorted(names)
+        json.dumps(snap)  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# lazy tracer payloads (satellite)
+# ---------------------------------------------------------------------------
+
+class TestLazyTracerPayload:
+    def test_disabled_tracer_never_calls_payload(self):
+        engine = Engine()
+        tracer = Tracer(engine, enabled=False)
+        calls = []
+        tracer.emit("src", "tag", lambda: calls.append(1))
+        assert calls == []
+
+    def test_tag_filtered_emit_never_calls_payload(self):
+        engine = Engine()
+        tracer = Tracer(engine, enabled=True, tags={"wanted"})
+        calls = []
+        tracer.emit("src", "other", lambda: calls.append(1))
+        assert calls == []
+        assert tracer.records == []
+
+    def test_enabled_tracer_resolves_payload_once(self):
+        engine = Engine()
+        tracer = Tracer(engine, enabled=True)
+        calls = []
+        tracer.emit("src", "tag", lambda: (calls.append(1), {"k": 1})[1])
+        assert calls == [1]
+        assert tracer.records[0].payload == {"k": 1}
+
+
+# ---------------------------------------------------------------------------
+# spans on a UDP echo round trip
+# ---------------------------------------------------------------------------
+
+class TestUdpSpans:
+    def test_stage_ordering_and_latency_histograms(self):
+        with telemetry.session() as sess:
+            udp_pingpong(iters=1, warmup=0)
+        by_source = {t.source: t for t in sess.telemetries}
+        assert {"server", "client"} <= set(by_source)
+        server = by_source["server"]
+
+        finished = [s for s in server.spans.spans if s.finished]
+        assert finished, "the server must have finished at least one span"
+        span = finished[0]
+        names = span.stage_names()
+        # the receive pipeline in canonical order
+        assert names[0] == "nic_rx"
+        assert names[1] == "demux"
+        assert "ring_enqueue" in names
+        assert "copy" in names                      # app-buffer copy
+        assert names[-1] == "app_consume"
+        assert span.outcome == "app"
+        # stage order implies monotonic simulated time
+        times = [t for _s, t in span.events]
+        assert times == sorted(times)
+        assert all(t >= span.start for t in times)
+
+        # per-stage latency histograms were fed on finish
+        for stage in ("demux", "ring_enqueue", "app_consume"):
+            h = server.registry.value("stage.latency_us", stage=stage)
+            assert h.count >= 1
+        # and the flow counters line up with one message each way (plus
+        # whatever the reply generated on the client)
+        assert server.registry.value("udp.rx_datagrams", port=7000) == 1
+        assert server.registry.value("udp.tx_datagrams", port=7000) == 1
+
+    def test_disabled_run_creates_no_spans(self):
+        tb = make_an2_pair()
+        assert not tb.server.telemetry.enabled
+        assert tb.server.telemetry.spans.spans == []
+
+
+# ---------------------------------------------------------------------------
+# ASH cycle accounting
+# ---------------------------------------------------------------------------
+
+class TestAshCycleAccounting:
+    def _run_increment(self):
+        tb = make_an2_pair()
+        for node in (tb.server, tb.client):
+            node.telemetry.enable()
+        sk = tb.server_kernel
+        ep = sk.create_endpoint_an2(tb.server_nic, CLIENT_TO_SERVER_VCI)
+        mem = tb.server.memory
+        state = mem.alloc("incr_state", 64)
+        mem.store_u32(state.base + 32 + PARAM_COUNTER, state.base)
+        mem.store_u32(state.base + 32 + PARAM_REPLY_VCI, SERVER_TO_CLIENT_VCI)
+        mem.store_u32(state.base + 32 + PARAM_SCRATCH, state.base + 16)
+        ash_id = sk.ash_system.download(
+            build_remote_increment(),
+            allowed_regions=[(state.base, 64)],
+            user_word=state.base + 32,
+        )
+        sk.ash_system.bind(ep, ash_id)
+        cli_ep = tb.client_kernel.create_endpoint_an2(
+            tb.client_nic, SERVER_TO_CLIENT_VCI
+        )
+
+        def client(proc):
+            for _ in range(3):
+                yield from tb.client_kernel.sys_net_send(
+                    proc, tb.client_nic,
+                    Frame((1).to_bytes(4, "little"), vci=CLIENT_TO_SERVER_VCI),
+                )
+                desc = yield from tb.client_kernel.sys_recv_poll(proc, cli_ep)
+                yield from tb.client_kernel.sys_replenish(proc, cli_ep, desc)
+
+        tb.client_kernel.spawn_process("client", client)
+        tb.run()
+        return tb, sk, ash_id
+
+    def test_budget_account_and_stats(self):
+        tb, sk, ash_id = self._run_increment()
+        entry = sk.ash_system.entry(ash_id)
+        account = entry.account
+        assert account.invocations == 3
+        assert account.cycles_total > 0
+        assert account.cycles_max >= account.cycles_last > 0
+        assert account.budget == budget_cycles(sk.cal)
+        assert account.overruns == 0          # tiny handler, huge budget
+        assert 0 < account.remaining_last < account.budget
+
+        stats = sk.stats()
+        handler = stats["ash"]["handlers"][0]
+        assert handler["invocations"] == handler["consumed"] == 3
+        assert handler["cycles"]["cycles_total"] == account.cycles_total
+        assert handler["sandbox"]["added_insns"] > 0
+        assert stats["rx_interrupts"] >= 3
+        assert "metrics" in stats and "spans" in stats
+
+        tel = tb.server.telemetry
+        name = entry.program.name
+        assert tel.registry.value("ash.invocations", handler=name) == 3
+        assert (tel.registry.value("ash.cycles_total", handler=name)
+                == account.cycles_total)
+        hist = tel.registry.value("ash.cycles", handler=name)
+        assert hist.count == 3
+        # the sandbox-check overhead estimate is nonzero and below total
+        overhead = tel.registry.value(
+            "ash.sandbox_overhead_cycles_est", handler=name
+        )
+        assert 0 < overhead < account.cycles_total
+        # spans on the ASH path finish with the "ash" outcome
+        outcomes = {s.outcome for s in tel.spans.spans if s.finished}
+        assert "ash" in outcomes
+        # the reply transmit is tagged onto the request's span
+        ash_spans = [s for s in tel.spans.spans if s.outcome == "ash"]
+        assert any("nic_tx" in s.stage_names() for s in ash_spans)
+
+
+# ---------------------------------------------------------------------------
+# DILP pipe-fusion accounting
+# ---------------------------------------------------------------------------
+
+class TestDilpAccounting:
+    def test_fusion_savings_metrics(self):
+        from repro.hw.memory import PhysicalMemory
+        from repro.pipes import (
+            PIPE_WRITE,
+            compile_pl,
+            mk_byteswap_pipe,
+            mk_cksum_pipe,
+            pipel,
+        )
+
+        pl = pipel(name="t")
+        mk_cksum_pipe(pl)
+        mk_byteswap_pipe(pl)
+        pipeline = compile_pl(pl, PIPE_WRITE)
+        engine = Engine()
+        tel = Telemetry(engine, source="n", enabled=True)
+        pipeline.telemetry = tel
+
+        mem = PhysicalMemory(1 << 20)
+        src = mem.alloc("src", 4096)
+        dst = mem.alloc("dst", 4096)
+        mem.write(src.base, bytes(range(256)) * 4)
+        cycles = pipeline.run_fast(mem, src.base, dst.base, 1024)
+
+        loop = pipeline.program.name
+        assert tel.registry.value("dilp.runs", loop=loop) == 1
+        assert tel.registry.value("dilp.bytes", loop=loop) == 1024
+        assert tel.registry.value("dilp.cycles", loop=loop) == cycles
+        saved = tel.registry.value("dilp.saved_cycles", loop=loop)
+        # two fused pipes share one traversal: saved = 1x the scaffold
+        assert saved == pipeline.overhead_cycles(1024)
+        assert 0 < pipeline.overhead_cycles(1024) < pipeline.loop_cycles(1024)
+        # a single-pipe (or empty) list fuses nothing
+        solo = compile_pl(pipel(name="solo"), PIPE_WRITE)
+        assert solo.fusion_saved_cycles(1024) == 0
+
+
+# ---------------------------------------------------------------------------
+# export + schema validation
+# ---------------------------------------------------------------------------
+
+class TestExport:
+    def test_metrics_and_chrome_exports_validate(self):
+        checker = _load_schema_checker()
+        with telemetry.session() as sess:
+            udp_pingpong(iters=1, warmup=0)
+        metrics_doc = sess.export_metrics()
+        chrome_doc = sess.export_chrome()
+
+        assert metrics_doc["schema"] == SCHEMA
+        assert metrics_doc["version"] == SCHEMA_VERSION
+        assert checker.validate_metrics(metrics_doc) == []
+
+        assert chrome_doc["schema"] == CHROME_SCHEMA
+        assert checker.validate_chrome(chrome_doc) == []
+        phases = {e["ph"] for e in chrome_doc["traceEvents"]}
+        assert "X" in phases and "M" in phases
+        # every node became a named process
+        proc_names = {
+            e["args"]["name"] for e in chrome_doc["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert {"server", "client"} <= proc_names
+
+    def test_schema_checker_rejects_garbage(self):
+        checker = _load_schema_checker()
+        assert checker.validate_metrics({"schema": "nope"})
+        assert checker.validate_chrome({"schema": "nope"})
+        bad = {
+            "schema": SCHEMA, "version": SCHEMA_VERSION,
+            "nodes": [{"source": 3}],
+        }
+        assert checker.validate_metrics(bad)
+
+    def test_format_table_renders(self):
+        with telemetry.session() as sess:
+            udp_pingpong(iters=1, warmup=0)
+        text = sess.telemetries[0].format_table()
+        assert "telemetry[" in text
+        assert "spans:" in text
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+class TestDeterminism:
+    def test_identical_runs_export_identical_snapshots(self):
+        docs = []
+        for _ in range(2):
+            with telemetry.session() as sess:
+                udp_pingpong(iters=1, warmup=0)
+            docs.append(json.dumps(sess.export_metrics(), sort_keys=True))
+        assert docs[0] == docs[1]
+
+    def test_telemetry_does_not_change_results(self):
+        baseline = udp_pingpong(iters=2, warmup=1)
+        with telemetry.session():
+            traced = udp_pingpong(iters=2, warmup=1)
+        assert traced == baseline
+
+
+# ---------------------------------------------------------------------------
+# run-wide session plumbing
+# ---------------------------------------------------------------------------
+
+class TestSession:
+    def test_session_scopes_the_default(self):
+        engine = Engine()
+        with telemetry.session() as sess:
+            inside = Telemetry(engine, source="inside")
+        outside = Telemetry(engine, source="outside")
+        assert inside.enabled
+        assert not outside.enabled
+        assert [t.source for t in sess.telemetries] == ["inside"]
+
+    def test_disabled_session_is_a_no_op(self):
+        engine = Engine()
+        with telemetry.session(enabled=False) as sess:
+            tel = Telemetry(engine, source="n")
+        assert not tel.enabled
+        assert sess.telemetries == []
