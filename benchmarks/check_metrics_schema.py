@@ -27,6 +27,20 @@ SUPPORTED_VERSIONS = (1,)
 
 _NUM = (int, float)
 
+#: metrics with a pinned kind: exporting one of these under the wrong
+#: block (e.g. a JIT counter as a gauge) is exporter drift and fails CI
+WELL_KNOWN_KINDS = {
+    "vcode.jit.compile_cycles": "counters",
+    "vcode.jit.cache_hits": "counters",
+    "vcode.jit.cache_misses": "counters",
+    "vcode.jit.deopts": "counters",
+    "dpf.inserts": "counters",
+    "dpf.matches": "counters",
+    "dpf.misses": "counters",
+    "dpf.table_size": "gauges",
+    "dpf.tree_depth": "gauges",
+}
+
 
 def _check(errors: list[str], cond: bool, msg: str) -> bool:
     if not cond:
@@ -53,6 +67,11 @@ def _validate_metrics_block(errors: list[str], where: str, metrics) -> None:
             if not _check(errors, isinstance(item, dict), f"{w}: must be an object"):
                 continue
             _check(errors, isinstance(item.get("name"), str), f"{w}: missing string 'name'")
+            expected_kind = WELL_KNOWN_KINDS.get(item.get("name"))
+            if expected_kind is not None:
+                _check(errors, kind == expected_kind,
+                       f"{w}: {item.get('name')!r} must be exported under "
+                       f"{expected_kind!r}, found under {kind!r}")
             _validate_labels(errors, w, item.get("labels", {}))
             if kind == "histograms":
                 for key in ("count", "sum", "max"):

@@ -107,7 +107,8 @@ def build_handler_env(
                 mem, src, dst, length, kernel.node.dcache
             )
         else:
-            vm = Vm(mem, cache=kernel.node.dcache, cal=cal)
+            vm = Vm(mem, cache=kernel.node.dcache, cal=cal,
+                    telemetry=kernel.node.telemetry)
             cycles += pipeline.run_vm(vm, src, dst, length).cycles
         return 0, cycles
 

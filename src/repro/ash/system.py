@@ -238,7 +238,8 @@ class AshSystem:
 
         pending: list = []
         env = build_handler_env(kernel, desc, pending, allowed, mode="ash", ep=ep)
-        vm = Vm(kernel.node.memory, cache=kernel.node.dcache, cal=cal)
+        vm = Vm(kernel.node.memory, cache=kernel.node.dcache, cal=cal,
+                telemetry=tel)
         try:
             result = vm.run(
                 entry.program,

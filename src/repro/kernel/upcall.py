@@ -83,7 +83,8 @@ class UpcallManager:
         env = build_handler_env(
             kernel, desc, pending, allowed=None, mode="upcall", ep=ep
         )
-        vm = Vm(kernel.node.memory, cache=kernel.node.dcache, cal=cal)
+        vm = Vm(kernel.node.memory, cache=kernel.node.dcache, cal=cal,
+                telemetry=tel)
         try:
             result = vm.run(
                 handler.program,

@@ -41,6 +41,7 @@ from ..hw.nic.ethernet import STRIPE_CHUNK, striped_size
 from ..vcode.builder import VBuilder
 from ..vcode.isa import Insn, Program, insn_cost
 from ..vcode.registers import P_VAR
+from ..vcode import jit
 from ..vcode.vm import Vm, VmResult
 from .kernels import apply_pipe_at_gauge, gather_striped
 from .pipe import P_GAUGE32, Pipe, gauge_bytes
@@ -212,7 +213,9 @@ class IntegratedPipeline:
         dst: int,
         nbytes: int,
     ) -> VmResult:
-        """Reference execution on the interpreting VM."""
+        """Execute the emitted loop on the VM (JIT engine by default;
+        ``compile_pl`` pre-translates the loop so this hits the code
+        cache).  Pass ``Vm(engine="interp")`` for reference runs."""
         self._check_args(nbytes)
         regs = [0] * 32
         for key, reg in self.state_regs.items():
@@ -277,7 +280,7 @@ class IntegratedPipeline:
         """Execute, preferring the fast path; returns cycles."""
         if self.has_fast_path:
             return self.run_fast(mem, src, dst, nbytes, cache)
-        vm = Vm(mem, cache=cache, cal=self.cal)
+        vm = Vm(mem, cache=cache, cal=self.cal, telemetry=self.telemetry)
         return self.run_vm(vm, src, dst, nbytes).cycles
 
 
@@ -458,6 +461,13 @@ def compile_pl(
     sections.epilogue = section_cost(mark)
 
     program = b.finish()
+    # compile_pl *is* the dynamic code generation step ("integrates
+    # several pipes ... encoded in a specialized data copying loop"), so
+    # translate the fused loop to native code now, for both the
+    # cache-modelled and cache-less VM variants; run_vm then always hits
+    # the code cache.
+    jit.get_compiled(program, cal, has_cache=True)
+    jit.get_compiled(program, cal, has_cache=False)
     return IntegratedPipeline(
         pl=pl,
         mode=mode,

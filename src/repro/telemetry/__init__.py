@@ -23,7 +23,6 @@ or per node with ``node.telemetry.enable()``.
 from __future__ import annotations
 
 import contextlib
-import weakref
 from typing import Optional
 
 from .export import (
@@ -98,19 +97,24 @@ def configure(enabled: bool) -> None:
 
 def _register(tel: Telemetry) -> None:
     if _ACTIVE_SESSION is not None:
-        _ACTIVE_SESSION._telemetries.append(weakref.ref(tel))
+        _ACTIVE_SESSION._telemetries.append(tel)
 
 
 class Session:
-    """Collects every Telemetry hub created while the session is open."""
+    """Collects every Telemetry hub created while the session is open.
+
+    References are strong: a hub created inside the session stays
+    exportable after the workload that built it returns, regardless of
+    garbage-collector timing (exports must be byte-stable, and hubs
+    are only held for the session's bounded lifetime).
+    """
 
     def __init__(self):
-        self._telemetries: list[weakref.ref] = []
+        self._telemetries: list[Telemetry] = []
 
     @property
     def telemetries(self) -> list[Telemetry]:
-        return [t for t in (ref() for ref in self._telemetries)
-                if t is not None]
+        return list(self._telemetries)
 
     def snapshots(self, include_span_events: bool = True) -> list[dict]:
         return [t.snapshot(include_span_events=include_span_events)

@@ -22,6 +22,7 @@ and, after :func:`assemble`, the resolved target index in ``target``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Optional
 
 from ..errors import VcodeError
@@ -134,9 +135,27 @@ class Program:
     #: are to code named by the pre-sandboxed address then they are
     #: translated and allowed to proceed").
     jump_map: Optional[dict[int, int]] = None
+    #: tri-state JIT verdict: None = unknown, True = verified/translated,
+    #: False = translation failed (the VM then sticks to the interpreter).
+    #: The sandbox verifier stamps this at download time.
+    jit_safe: Optional[bool] = None
 
     def __len__(self) -> int:
         return len(self.insns)
+
+    @cached_property
+    def forbidden_pcs(self) -> tuple[int, ...]:
+        """Indices of forbidden (signed/FP) instructions, scanned once.
+
+        Both engines share this gate: the interpreter skips its
+        per-instruction forbidden check when the scan comes back empty,
+        and the JIT emits inline traps only at these pcs.  Valid because
+        a Program's instruction list is fixed after :func:`assemble`.
+        """
+        return tuple(
+            pc for pc, insn in enumerate(self.insns)
+            if insn.op in FORBIDDEN_OPS
+        )
 
     def disassemble(self) -> str:
         index_to_labels: dict[int, list[str]] = {}

@@ -24,6 +24,7 @@ correctly.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -49,12 +50,21 @@ from .isa import (
     insn_cost,
 )
 
-__all__ = ["Vm", "VmResult", "TrustedCallContext"]
+__all__ = ["Vm", "VmResult", "TrustedCallContext", "ENGINES", "ENV_ENGINE"]
+
+from . import jit  # noqa: E402  (jit imports vm lazily; no cycle)
 
 MASK32 = 0xFFFFFFFF
 
 #: hard cap on instructions for un-budgeted runs (unit tests, tools)
 DEFAULT_MAX_INSNS = 50_000_000
+
+#: valid execution engines; "jit" is the default (see README
+#: "Execution engines" — both produce bit-identical VmResults)
+ENGINES = ("jit", "interp")
+
+#: environment override for the default engine
+ENV_ENGINE = "REPRO_VCODE_ENGINE"
 
 
 @dataclass
@@ -107,17 +117,33 @@ def _bswap16(v: int) -> int:
 
 
 class Vm:
-    """Interpreter for assembled VCODE programs."""
+    """Executes assembled VCODE programs (JIT by default, with a
+    reference interpreter for differential testing and deopt resume)."""
 
     def __init__(
         self,
         memory: PhysicalMemory,
         cache: Optional[DirectMappedCache] = None,
         cal: Calibration = DEFAULT,
+        engine: Optional[str] = None,
+        telemetry=None,
     ):
         self.memory = memory
         self.cache = cache
         self.cal = cal
+        self.engine = engine
+        self.telemetry = telemetry
+        # the environment default is stable for the Vm's lifetime; read
+        # it once instead of hitting os.environ on every run()
+        self._env_default = os.environ.get(ENV_ENGINE) or "jit"
+
+    def _resolve_engine(self, engine: Optional[str]) -> str:
+        eng = engine or self.engine or self._env_default
+        if eng not in ENGINES:
+            raise VcodeError(
+                f"unknown execution engine {eng!r} (expected one of {ENGINES})"
+            )
+        return eng
 
     def run(
         self,
@@ -128,6 +154,7 @@ class Vm:
         cycle_budget: Optional[int] = None,
         allowed: Optional[list[tuple[int, int]]] = None,
         max_insns: int = DEFAULT_MAX_INSNS,
+        engine: Optional[str] = None,
     ) -> VmResult:
         """Execute ``program`` and return a :class:`VmResult`.
 
@@ -136,6 +163,13 @@ class Vm:
         invocations; it is mutated in place.  ``allowed`` is the region
         list the sandbox checks consult.  ``cycle_budget`` is the abort
         threshold (None = unlimited, for trusted code).
+
+        ``engine`` picks the execution engine: ``"jit"`` (default)
+        translates the program to native Python via
+        :mod:`repro.vcode.jit` and caches it; ``"interp"`` is the
+        reference interpreter.  Both produce bit-identical results; the
+        call-site argument overrides the ``Vm(engine=...)`` setting,
+        which overrides the ``REPRO_VCODE_ENGINE`` environment variable.
         """
         if len(args) > 4:
             raise VcodeError("at most 4 register arguments")
@@ -145,6 +179,45 @@ class Vm:
             regs[REG_A0 + i] = arg & MASK32
         env = env or {}
         allowed = allowed or []
+        # Normalize the hardwired zero register before dispatch: the
+        # interpreter resets it after every instruction, the JIT folds it
+        # to the literal 0, and both assume it starts out as 0.
+        regs[REG_ZERO] = 0
+        eng = engine or self.engine or self._env_default
+        if eng != "jit":
+            self._resolve_engine(eng)  # raises on unknown engines
+        elif program.jit_safe is not False:
+            compiled = jit.get_compiled(
+                program, self.cal, self.cache is not None, self.telemetry,
+                allowed,
+            )
+            if compiled is not None:
+                call_log: list[tuple[str, int, int]] = []
+                out = compiled.fn(
+                    self, regs, env, cycle_budget, allowed, max_insns, call_log
+                )
+                if out[0] == 0:
+                    return VmResult(
+                        value=out[1],
+                        regs=regs,
+                        cycles=out[2],
+                        insns_executed=out[3],
+                        call_log=call_log,
+                    )
+                # Deoptimization: the compiled code could not prove the
+                # next chunk stays within budget/instruction-cap (or hit
+                # an indirect jump to an unknown target); resume in the
+                # reference interpreter from the exact machine state so
+                # faults and accounting stay bit-identical.
+                jit.stats.deopts += 1
+                tel = self.telemetry
+                if tel is not None and tel.enabled:
+                    tel.counter("vcode.jit.deopts").inc()
+                return self._interp(
+                    program, regs, env, cycle_budget, allowed, max_insns,
+                    pc=out[1], cycles=out[2], executed=out[3],
+                    call_log=call_log,
+                )
         return self._interp(program, regs, env, cycle_budget, allowed, max_insns)
 
     def _interp(
@@ -155,17 +228,30 @@ class Vm:
         cycle_budget: Optional[int],
         allowed: list[tuple[int, int]],
         max_insns: int,
+        pc: int = 0,
+        cycles: int = 0,
+        executed: int = 0,
+        call_log: Optional[list[tuple[str, int, int]]] = None,
     ) -> VmResult:
+        """Reference interpreter.
+
+        The non-zero ``pc``/``cycles``/``executed``/``call_log`` entry
+        points exist for JIT deoptimization: compiled code that cannot
+        prove the next chunk stays within the cycle budget writes back
+        its state and resumes here, mid-program.
+        """
         mem = self.memory
         cache = self.cache
         cal = self.cal
         insns = program.insns
         nprog = len(insns)
 
-        pc = 0
-        cycles = 0
-        executed = 0
-        call_log: list[tuple[str, int, int]] = []
+        if call_log is None:
+            call_log = []
+        # The forbidden-op gate is invariant per program: scan once
+        # (cached on the Program) and skip the per-instruction set
+        # membership test entirely for clean code.
+        has_forbidden = bool(program.forbidden_pcs)
 
         def check_range(addr: int, size: int) -> None:
             for base, rsize in allowed:
@@ -180,7 +266,7 @@ class Vm:
             while pc < nprog:
                 insn = insns[pc]
                 op = insn.op
-                if op in FORBIDDEN_OPS:
+                if has_forbidden and op in FORBIDDEN_OPS:
                     raise VmFault(
                         f"{program.name}: refused forbidden instruction {op!r} "
                         f"at {pc}"
