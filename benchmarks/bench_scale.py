@@ -1,0 +1,360 @@
+#!/usr/bin/env python3
+"""Macro scale benchmark: N-pair, M-flow worlds on both substrates.
+
+Like ``bench_wallclock.py`` this measures *real* elapsed time, not
+simulated cycles: it tracks the overhead of the reproduction itself.
+The fast substrate (calendar-queue event engine, vectorized cache
+model, zero-copy packet path) must never change the model — every
+workload-visible observable (round-trip times, cache hits/misses,
+interrupt and frame counts) is digested per substrate and the digests
+must match exactly (``cycles_identical``).
+
+The world: N independent AN2 node pairs share one simulated engine;
+each pair carries M concurrent flows cycling through three kinds:
+
+* **udp** — ping-pong with payloads large enough to stress the bulk
+  cache walks and the copy path,
+* **tcp** — connect + ping-pong (header prediction, checksum pass,
+  retransmit timers armed and cancelled on every exchange),
+* **ash** — raw AN2 frames dispatched to the sandboxed
+  remote-increment handler (the paper's Table V workload).
+
+Reported per configuration: wall-clock seconds, simulated events/sec
+and packets/sec for the legacy (heapq + bytes + scalar cache) and fast
+substrates, and the speedup.  Results land in ``BENCH_scale.json`` at
+the repo root; ``--quick`` shrinks the sweep for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.ash.examples import (                                 # noqa: E402
+    PARAM_COUNTER,
+    PARAM_REPLY_VCI,
+    PARAM_SCRATCH,
+    build_remote_increment,
+)
+from repro.bench.testbed import make_an2_pair                    # noqa: E402
+from repro.hw.link import Frame                                  # noqa: E402
+from repro.net.stack import NetStack                             # noqa: E402
+from repro.net.tcp import TcpConnection                          # noqa: E402
+from repro.net.udp import UdpSocket                              # noqa: E402
+from repro.sim.engine import Engine                              # noqa: E402
+from repro.sim.units import CYCLE_PS, us                         # noqa: E402
+
+CLIENT_IP = "10.0.0.1"
+SERVER_IP = "10.0.0.2"
+FLOW_KINDS = ("udp", "tcp", "ash")
+
+#: per-flow start offset in cycles.  173 is coprime to the 200-cycle
+#: charge quantum, so no two flows' quantum grids ever phase-lock —
+#: without this every node marches in 5 µs lockstep, which is neither
+#: realistic nor representative of event-queue behaviour at scale.
+STAGGER_CYCLES = 173
+
+
+class ScaleWorld:
+    """N AN2 pairs x M flows on one engine of the given substrate."""
+
+    def __init__(self, substrate: str, pairs: int, flows: int,
+                 rounds: int, size: int):
+        self.engine = Engine(substrate=substrate)
+        self.pairs = pairs
+        self.flows = flows
+        self.rounds = rounds
+        self.size = size
+        self.done: list[bool] = []
+        self.rt_ps: list[list[int]] = []  #: per-flow round-trip times
+        self.testbeds = []
+        for i in range(pairs):
+            tb = make_an2_pair(engine=self.engine, name_prefix=f"p{i}.")
+            self.testbeds.append(tb)
+            for j in range(flows):
+                kind = FLOW_KINDS[(i * flows + j) % len(FLOW_KINDS)]
+                self._add_flow(tb, j, kind)
+
+    # -- flow builders -----------------------------------------------------
+    def _track(self) -> tuple[int, list[int]]:
+        idx = len(self.done)
+        self.done.append(False)
+        rts: list[int] = []
+        self.rt_ps.append(rts)
+        return idx, rts
+
+    def _vcis(self, j: int) -> tuple[int, int]:
+        """(client->server, server->client) circuit pair for flow j."""
+        return 2 * j + 1, 2 * j + 2
+
+    def _stacks(self, tb, j: int) -> tuple[NetStack, NetStack]:
+        c2s, s2c = self._vcis(j)
+        cstack = NetStack(tb.client_kernel, tb.client_nic, CLIENT_IP,
+                          an2_peers={SERVER_IP: (c2s, s2c)})
+        sstack = NetStack(tb.server_kernel, tb.server_nic, SERVER_IP,
+                          an2_peers={CLIENT_IP: (s2c, c2s)})
+        return cstack, sstack
+
+    def _add_flow(self, tb, j: int, kind: str) -> None:
+        if kind == "udp":
+            self._add_udp(tb, j)
+        elif kind == "tcp":
+            self._add_tcp(tb, j)
+        else:
+            self._add_ash(tb, j)
+
+    def _add_udp(self, tb, j: int) -> None:
+        idx, rts = self._track()
+        cstack, sstack = self._stacks(tb, j)
+        c2s, s2c = self._vcis(j)
+        csock = UdpSocket(cstack, 7001 + j, rx_vci=s2c, name=f"f{j}udpc")
+        ssock = UdpSocket(sstack, 7001 + j, rx_vci=c2s, name=f"f{j}udps")
+        rounds, size = self.rounds, self.size
+        server_ip = sstack.ip
+
+        def server(proc):
+            for _ in range(rounds):
+                dg = yield from ssock.recvfrom(proc)
+                yield from ssock.sendto(proc, dg.payload, dg.src_ip,
+                                        dg.src_port)
+
+        def client(proc):
+            yield proc.engine.sleep((idx + 1) * STAGGER_CYCLES * CYCLE_PS)
+            for _ in range(rounds):
+                t0 = proc.engine.now
+                yield from csock.sendto(proc, bytes(size), server_ip,
+                                        7001 + j)
+                yield from csock.recvfrom(proc)
+                rts.append(proc.engine.now - t0)
+            self.done[idx] = True
+
+        tb.server_kernel.spawn_process(f"f{j}udp-server", server)
+        tb.client_kernel.spawn_process(f"f{j}udp-client", client)
+
+    def _add_tcp(self, tb, j: int) -> None:
+        idx, rts = self._track()
+        cstack, sstack = self._stacks(tb, j)
+        c2s, s2c = self._vcis(j)
+        conn_c = TcpConnection(cstack, 5000 + j, sstack.ip, 80 + j,
+                               rx_vci=s2c, iss=1000, name=f"f{j}tcpc")
+        conn_s = TcpConnection(sstack, 80 + j, cstack.ip, 5000 + j,
+                               rx_vci=c2s, iss=7000, name=f"f{j}tcps")
+        rounds, size = self.rounds, self.size
+
+        def server(proc):
+            yield from conn_s.accept(proc)
+            for _ in range(rounds):
+                data = yield from conn_s.read(proc, size)
+                yield from conn_s.write(proc, data)
+
+        def client(proc):
+            yield proc.engine.sleep((idx + 1) * STAGGER_CYCLES * CYCLE_PS)
+            yield from conn_c.connect(proc)
+            for _ in range(rounds):
+                t0 = proc.engine.now
+                yield from conn_c.write(proc, bytes(size))
+                yield from conn_c.read(proc, size)
+                rts.append(proc.engine.now - t0)
+            self.done[idx] = True
+
+        tb.server_kernel.spawn_process(f"f{j}tcp-server", server)
+        tb.client_kernel.spawn_process(f"f{j}tcp-client", client)
+
+    def _add_ash(self, tb, j: int) -> None:
+        idx, rts = self._track()
+        sk, ck = tb.server_kernel, tb.client_kernel
+        c2s, s2c = self._vcis(j)
+        srv_ep = sk.create_endpoint_an2(tb.server_nic, c2s, name=f"f{j}ash-s")
+        cli_ep = ck.create_endpoint_an2(tb.client_nic, s2c, name=f"f{j}ash-c")
+        mem = tb.server.memory
+        state = mem.alloc(f"f{j}.incr_state", 64)
+        mem.store_u32(state.base + 32 + PARAM_COUNTER, state.base)
+        mem.store_u32(state.base + 32 + PARAM_REPLY_VCI, s2c)
+        mem.store_u32(state.base + 32 + PARAM_SCRATCH, state.base + 16)
+        ash_id = sk.ash_system.download(
+            build_remote_increment(),
+            allowed_regions=[(state.base, 64)],
+            user_word=state.base + 32,
+        )
+        sk.ash_system.bind(srv_ep, ash_id)
+        rounds = self.rounds
+
+        def client(proc):
+            yield proc.engine.sleep((idx + 1) * STAGGER_CYCLES * CYCLE_PS)
+            for _ in range(rounds):
+                t0 = proc.engine.now
+                yield from ck.sys_net_send(
+                    proc, tb.client_nic,
+                    Frame((1).to_bytes(4, "little"), vci=c2s),
+                )
+                desc = yield from ck.sys_recv_poll(proc, cli_ep)
+                yield from ck.sys_replenish(proc, cli_ep, desc)
+                rts.append(proc.engine.now - t0)
+            self.done[idx] = True
+
+        cli_ep.owner = ck.spawn_process(f"f{j}ash-client", client)
+
+    # -- run + observables ---------------------------------------------------
+    def run(self) -> float:
+        """Drive the world to completion; returns wall-clock seconds."""
+        t0 = time.perf_counter()
+        self.engine.run()
+        wall = time.perf_counter() - t0
+        if not all(self.done):
+            raise RuntimeError(
+                f"scale world stalled: {self.done.count(False)} flows "
+                f"unfinished (substrate={self.engine.substrate})"
+            )
+        return wall
+
+    def digest(self) -> str:
+        """Hash of every substrate-invariant observable.
+
+        Round-trip times are simulated durations stamped inside the
+        workloads; cache/interrupt/frame counters are model state.  The
+        engine's own clock/stats are deliberately excluded — tombstone
+        pops may advance the legacy clock past the last real event.
+        """
+        obs = {
+            "rt_ps": self.rt_ps,
+            "nodes": [
+                {
+                    "name": node.name,
+                    "dcache_hits": node.dcache.hits,
+                    "dcache_misses": node.dcache.misses,
+                    "rx_interrupts": node.kernel.rx_interrupts,
+                    "nic_rx": {n.name: n.rx_frames for n in node.nics.values()},
+                    "nic_tx": {n.name: n.tx_frames for n in node.nics.values()},
+                }
+                for tb in self.testbeds
+                for node in (tb.client, tb.server)
+            ],
+        }
+        blob = json.dumps(obs, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def packets(self) -> int:
+        return sum(
+            nic.rx_frames
+            for tb in self.testbeds
+            for node in (tb.client, tb.server)
+            for nic in node.nics.values()
+        )
+
+
+def run_config(pairs: int, flows: int, rounds: int,
+               size: int, reps: int) -> dict:
+    """Best-of-``reps`` wall clock per substrate, reps interleaved
+    legacy/fast so background machine load hits both sides equally."""
+    best: dict[str, dict] = {}
+    for _ in range(reps):
+        for substrate in ("legacy", "fast"):
+            world = ScaleWorld(substrate, pairs, flows, rounds, size)
+            wall = world.run()
+            cur = best.get(substrate)
+            if cur is None or wall < cur["wall_s"]:
+                stats = world.engine.stats()
+                best[substrate] = {
+                    "wall_s": wall,
+                    "events": stats["fired"],
+                    "events_per_sec": stats["fired"] / wall,
+                    "packets": world.packets(),
+                    "packets_per_sec": world.packets() / wall,
+                    "digest": world.digest(),
+                    "queue": stats["queue"],
+                    "cancelled": stats["cancelled"],
+                }
+    return best
+
+
+def bench(quick: bool) -> dict:
+    # (pairs, flows-per-pair, rounds-per-flow, payload bytes)
+    if quick:
+        configs = [(1, 3, 4, 512)]
+        reps = 1
+    else:
+        configs = [
+            (2, 3, 8, 2048),
+            (4, 3, 10, 4096),
+            (8, 3, 10, 16384),
+            (10, 3, 10, 16384),
+        ]
+        reps = 3
+    out: dict = {
+        "bench": "scale_substrate",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "configs": [],
+    }
+    for pairs, flows, rounds, size in configs:
+        best = run_config(pairs, flows, rounds, size, reps)
+        legacy, fast = best["legacy"], best["fast"]
+        identical = legacy["digest"] == fast["digest"]
+        # the calendar queue must not accumulate dead events: every
+        # tombstone created by a heap-resident cancel is popped by the
+        # time the world drains (wheel-resident cancels are removed
+        # outright and never become tombstones)
+        leftover = fast["queue"].get("tombstones", 0)
+        if leftover:
+            raise RuntimeError(
+                f"{leftover} tombstones left in the calendar queue"
+            )
+        entry = {
+            "pairs": pairs,
+            "nodes": pairs * 2,
+            "flows": pairs * flows,
+            "rounds": rounds,
+            "payload_bytes": size,
+            "legacy": {k: v for k, v in legacy.items() if k != "digest"},
+            "fast": {k: v for k, v in fast.items() if k != "digest"},
+            "speedup": round(legacy["wall_s"] / fast["wall_s"], 2),
+            "cycles_identical": identical,
+        }
+        out["configs"].append(entry)
+        print(f"pairs={pairs} flows={pairs * flows} rounds={rounds} "
+              f"size={size}B  legacy {legacy['wall_s']:.3f}s  "
+              f"fast {fast['wall_s']:.3f}s  "
+              f"speedup {entry['speedup']:.2f}x"
+              f"{'' if identical else '  OBSERVABLES DIVERGE!'}")
+    largest = out["configs"][-1]
+    out["summary"] = {
+        "largest_speedup": largest["speedup"],
+        "all_cycles_identical": all(
+            c["cycles_identical"] for c in out["configs"]
+        ),
+    }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="one small config (CI smoke run)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: <repo>/BENCH_scale.json)")
+    args = parser.parse_args(argv)
+    out = bench(args.quick)
+    path = args.out or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir,
+        "BENCH_scale.json"
+    )
+    with open(path, "w") as fh:
+        json.dump(out, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {os.path.normpath(path)}")
+    if not out["summary"]["all_cycles_identical"]:
+        print("ERROR: substrates disagree on simulated observables",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,21 @@ WELL_KNOWN_KINDS = {
     "dpf.misses": "counters",
     "dpf.table_size": "gauges",
     "dpf.tree_depth": "gauges",
+    # zero-copy packet-buffer pool (hw/nic/base.py)
+    "datapath.pktbuf.acquired": "counters",
+    "datapath.pktbuf.released": "counters",
+    "datapath.pktbuf.created": "counters",
+    "datapath.pktbuf.reused": "counters",
+    "datapath.pktbuf.in_flight": "gauges",
+    "datapath.pktbuf.free": "gauges",
+    # event-engine dispatch ledger (sim/engine.py publish_telemetry)
+    "sim.calendar.scheduled": "counters",
+    "sim.calendar.fired": "counters",
+    "sim.calendar.cancelled": "counters",
+    "sim.calendar.inlined": "counters",
+    "sim.calendar.tombstones_popped": "counters",
+    "sim.calendar.pending": "gauges",
+    "sim.calendar.tombstones": "gauges",
 }
 
 

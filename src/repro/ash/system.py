@@ -231,7 +231,9 @@ class AshSystem:
         if tel.enabled:
             tel.counter("ash.invocations", handler=handler_name).inc()
 
-        msg_span = striped_size(desc.length) if desc.striped else desc.length
+        msg_span = desc.dma_span or (
+            striped_size(desc.length) if desc.striped else desc.length
+        )
         allowed = entry.allowed
         if allowed is not None:
             allowed = allowed + [(desc.addr, msg_span)]

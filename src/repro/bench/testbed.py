@@ -60,6 +60,16 @@ class Testbed:
 
             until = self.engine.now + seconds(max_virtual_s)
         self.engine.run(until=until)
+        self.publish_telemetry()
+
+    def publish_telemetry(self) -> None:
+        """End-of-run export of engine and packet-pool state into the
+        node hubs, so sidecars carry ``sim.calendar.*`` and the
+        ``datapath.pktbuf.*`` gauges alongside the packet counters."""
+        self.engine.publish_telemetry(self.client.telemetry)
+        for node in (self.client, self.server):
+            if node.pktpool is not None:
+                node.pktpool.publish_telemetry(node.telemetry)
 
 
 def make_an2_pair(
@@ -67,11 +77,19 @@ def make_an2_pair(
     client_kernel_opts: Optional[dict] = None,
     server_kernel_opts: Optional[dict] = None,
     mem_size: int = 16 * 1024 * 1024,
+    engine: Optional[Engine] = None,
+    name_prefix: str = "",
 ) -> Testbed:
-    """Two DECstations joined by the AN2 switch."""
-    engine = Engine()
-    client = Node(engine, "client", cal, mem_size=mem_size)
-    server = Node(engine, "server", cal, mem_size=mem_size)
+    """Two DECstations joined by the AN2 switch.
+
+    Pass a shared ``engine`` (and a distinct ``name_prefix`` per pair)
+    to place many independent pairs in one simulated world — the scale
+    benchmark sweeps node count this way.
+    """
+    if engine is None:
+        engine = Engine()
+    client = Node(engine, f"{name_prefix}client", cal, mem_size=mem_size)
+    server = Node(engine, f"{name_prefix}server", cal, mem_size=mem_size)
     client_nic = An2Nic(engine, cal, client.memory, "an2")
     server_nic = An2Nic(engine, cal, server.memory, "an2")
     client.add_nic(client_nic)
@@ -80,7 +98,7 @@ def make_an2_pair(
         engine,
         rate_bytes_per_s=cal.an2_rate_bytes_per_s,
         latency_us=cal.an2_hw_oneway_us,
-        name="an2-link",
+        name=f"{name_prefix}an2-link",
     )
     client_nic.attach(link, 0)
     server_nic.attach(link, 1)
@@ -94,11 +112,14 @@ def make_eth_pair(
     client_kernel_opts: Optional[dict] = None,
     server_kernel_opts: Optional[dict] = None,
     mem_size: int = 16 * 1024 * 1024,
+    engine: Optional[Engine] = None,
+    name_prefix: str = "",
 ) -> Testbed:
     """Two DECstations on the 10 Mb/s Ethernet."""
-    engine = Engine()
-    client = Node(engine, "client", cal, mem_size=mem_size)
-    server = Node(engine, "server", cal, mem_size=mem_size)
+    if engine is None:
+        engine = Engine()
+    client = Node(engine, f"{name_prefix}client", cal, mem_size=mem_size)
+    server = Node(engine, f"{name_prefix}server", cal, mem_size=mem_size)
     client_nic = EthernetNic(engine, cal, client.memory, "eth")
     server_nic = EthernetNic(engine, cal, server.memory, "eth")
     client.add_nic(client_nic)
@@ -108,7 +129,7 @@ def make_eth_pair(
         rate_bytes_per_s=cal.eth_rate_bytes_per_s,
         latency_us=cal.eth_dma_latency_us,
         min_frame=cal.eth_min_frame,
-        name="eth-link",
+        name=f"{name_prefix}eth-link",
     )
     client_nic.attach(link, 0)
     server_nic.attach(link, 1)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
-from ..sim.engine import Engine, Event
+from ..sim.engine import Engine, Event, Timeout
 from ..sim.queues import PriorityLock
 from ..sim.units import CYCLE_PS
 from .calibration import Calibration, PRIO_USER
@@ -56,21 +56,24 @@ class Cpu:
             return
         if quantum is None:
             quantum = self.cal.exec_quantum_cycles
-        yield self.lock.acquire(prio)
+        engine = self.engine
+        lock = self.lock
+        waiters = lock._waiters
+        yield lock.acquire(prio)
         try:
             remaining = cycles
             while remaining > 0:
-                slice_cycles = min(remaining, quantum)
-                start = self.engine.now
-                yield self.engine.sleep(slice_cycles * CYCLE_PS)
-                self.busy_ticks += self.engine.now - start
+                slice_cycles = remaining if remaining < quantum else quantum
+                start = engine._now
+                yield Timeout(engine, slice_cycles * CYCLE_PS)
+                self.busy_ticks += engine._now - start
                 self.cycles_charged += slice_cycles
                 remaining -= slice_cycles
-                if remaining > 0 and self._should_yield_to_waiter(prio):
-                    self.lock.release()
-                    yield self.lock.acquire(prio)
+                if remaining > 0 and waiters and waiters[0][0] < prio:
+                    lock.release()
+                    yield lock.acquire(prio)
         finally:
-            self.lock.release()
+            lock.release()
 
     def _should_yield_to_waiter(self, prio: int) -> bool:
         waiting = self.lock.waiting_priority()

@@ -47,6 +47,7 @@ class PhysicalMemory:
         self.size = size
         self.data = bytearray(size)
         self.view = np.frombuffer(self.data, dtype=np.uint8)
+        self._mv = memoryview(self.data)
         self._brk = _ALIGN  # keep address 0 unmapped: it makes bugs loud
         self.regions: dict[str, Region] = {}
 
@@ -77,6 +78,22 @@ class PhysicalMemory:
     def read(self, addr: int, size: int) -> bytes:
         self._check(addr, size)
         return bytes(self.data[addr:addr + size])
+
+    def read_view(self, addr: int, size: int) -> memoryview:
+        """A zero-copy window over ``[addr, addr+size)``.
+
+        The view aliases live memory: it changes if the range is
+        rewritten (e.g. a receive buffer being replenished), so callers
+        that outlive the buffer must materialize with ``bytes()``.
+        """
+        self._check(addr, size)
+        return self._mv[addr:addr + size]
+
+    def copy_range(self, src: int, dst: int, size: int) -> None:
+        """Bulk memory-to-memory copy (no cycle accounting)."""
+        self._check(src, size)
+        self._check(dst, size)
+        self.view[dst:dst + size] = self.view[src:src + size]
 
     def write(self, addr: int, payload: bytes | bytearray | memoryview) -> None:
         self._check(addr, len(payload))

@@ -101,4 +101,5 @@ class An2Nic(Nic):
             length=len(frame.data),
             vci=frame.vci,
             striped=False,
+            dma_span=len(frame.data),
         )

@@ -19,7 +19,7 @@ from ..link import Frame, Link
 if TYPE_CHECKING:  # pragma: no cover
     from ..memory import PhysicalMemory
 
-__all__ = ["RxDescriptor", "Nic"]
+__all__ = ["RxDescriptor", "PacketBuf", "PacketBufPool", "Nic"]
 
 
 @dataclass
@@ -32,7 +32,103 @@ class RxDescriptor:
     length: int            #: payload length in bytes
     vci: Optional[int]     #: AN2 virtual circuit, None for Ethernet
     striped: bool = False  #: True when the DMA engine striped the data
+    dma_span: int = 0      #: bytes of memory the DMA engine occupied
+                           #: (striped layouts occupy more than ``length``)
+    buf: Optional["PacketBuf"] = None  #: pooled window over the DMA span
     meta: dict[str, Any] = field(default_factory=dict)
+
+
+class PacketBuf:
+    """A pooled zero-copy window over a DMA'd packet in node memory.
+
+    The ``view`` aliases the live receive buffer: it stays valid only
+    until the buffer is recycled to the NIC, which is why the kernel
+    releases the :class:`PacketBuf` exactly when it recycles or
+    replenishes the underlying slot.  Consumers that keep payload past
+    that point (applications, reassembly) must materialize ``bytes``.
+    """
+
+    __slots__ = ("addr", "span", "view", "_pool")
+
+    def __init__(self, pool: "PacketBufPool"):
+        self._pool = pool
+        self.addr = 0
+        self.span = 0
+        self.view: Optional[memoryview] = None
+
+    def release(self) -> None:
+        self._pool.release(self)
+
+
+class PacketBufPool:
+    """Free-list of :class:`PacketBuf` wrappers for one node.
+
+    Pooling the wrappers (and counting reuse) makes the zero-copy path
+    observable: ``datapath.pktbuf.*`` telemetry shows every packet hop
+    handing off a view instead of materializing bytes.
+    """
+
+    def __init__(self, memory: "PhysicalMemory", telemetry=None,
+                 name: str = "pktbuf"):
+        self.memory = memory
+        self.telemetry = telemetry
+        self.name = name
+        self._free: list[PacketBuf] = []
+        self.created = 0
+        self.reused = 0
+        self.acquired = 0
+        self.released = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self.acquired - self.released
+
+    def acquire(self, addr: int, span: int) -> PacketBuf:
+        tel = self.telemetry
+        if self._free:
+            buf = self._free.pop()
+            self.reused += 1
+            if tel is not None and tel.enabled:
+                tel.counter("datapath.pktbuf.reused", pool=self.name).inc()
+        else:
+            buf = PacketBuf(self)
+            self.created += 1
+            if tel is not None and tel.enabled:
+                tel.counter("datapath.pktbuf.created", pool=self.name).inc()
+        buf.addr = addr
+        buf.span = span
+        buf.view = self.memory.read_view(addr, span)
+        self.acquired += 1
+        if tel is not None and tel.enabled:
+            tel.counter("datapath.pktbuf.acquired", pool=self.name).inc()
+        return buf
+
+    def release(self, buf: PacketBuf) -> None:
+        if buf.view is None:
+            return  # already released (idempotent: recycle + replenish paths)
+        buf.view = None
+        self._free.append(buf)
+        self.released += 1
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.counter("datapath.pktbuf.released", pool=self.name).inc()
+
+    def publish_telemetry(self, hub=None) -> None:
+        """Snapshot pool gauges into a hub (end-of-run export)."""
+        tel = hub if hub is not None else self.telemetry
+        if tel is None or not tel.enabled:
+            return
+        tel.gauge("datapath.pktbuf.in_flight", pool=self.name).set(self.in_flight)
+        tel.gauge("datapath.pktbuf.free", pool=self.name).set(len(self._free))
+
+    def stats(self) -> dict:
+        return {
+            "created": self.created,
+            "reused": self.reused,
+            "acquired": self.acquired,
+            "released": self.released,
+            "in_flight": self.in_flight,
+        }
 
 
 class Nic:
@@ -53,6 +149,9 @@ class Nic:
         self.rx_callback: Optional[Callable[[RxDescriptor], None]] = None
         #: the owning node installs its telemetry hub in ``add_nic``
         self.telemetry = None
+        #: the owning node installs its PacketBufPool in ``add_nic``
+        #: (fast substrate only; None keeps the legacy bytes path)
+        self.pktpool: Optional[PacketBufPool] = None
         self.rx_frames = 0
         self.tx_frames = 0
         self.rx_dropped = 0
@@ -84,6 +183,8 @@ class Nic:
                 tel.counter("nic.rx_dropped", nic=self.name).inc()
             return
         self.rx_frames += 1
+        if self.pktpool is not None:
+            desc.buf = self.pktpool.acquire(desc.addr, desc.dma_span or desc.length)
         if tel is not None and tel.enabled:
             tel.counter("nic.rx_frames", nic=self.name).inc()
             tel.counter("nic.rx_bytes", nic=self.name).inc(desc.length)

@@ -85,4 +85,5 @@ class EthernetNic(Nic):
             length=len(data),
             vci=None,
             striped=True,
+            dma_span=striped_size(len(data)),
         )

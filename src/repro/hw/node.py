@@ -11,7 +11,7 @@ from .cache import DirectMappedCache
 from .calibration import Calibration, DEFAULT
 from .cpu import Cpu
 from .memory import PhysicalMemory
-from .nic.base import Nic
+from .nic.base import Nic, PacketBufPool
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.kernel import Kernel
@@ -34,10 +34,17 @@ class Node:
         self.name = name
         self.cal = cal
         self.memory = PhysicalMemory(mem_size)
-        self.dcache = DirectMappedCache(cal)
+        # the engine is the single source of truth for the substrate:
+        # cache vectorization and the packet pool key off it together
+        self.dcache = DirectMappedCache(cal, substrate=engine.substrate)
         self.cpu = Cpu(engine, cal, name=f"{name}.cpu")
         self.tracer = tracer if tracer is not None else Tracer(engine)
         self.telemetry = Telemetry(engine, source=name, tracer=self.tracer)
+        self.pktpool: Optional[PacketBufPool] = (
+            PacketBufPool(self.memory, self.telemetry, name=name)
+            if engine.substrate == "fast"
+            else None
+        )
         self.nics: dict[str, Nic] = {}
         #: installed by the kernel package at boot
         self.kernel: Optional["Kernel"] = None
@@ -47,6 +54,7 @@ class Node:
             raise ValueError(f"duplicate NIC name {nic.name!r} on {self.name}")
         self.nics[nic.name] = nic
         nic.telemetry = self.telemetry
+        nic.pktpool = self.pktpool
         return nic
 
     def trace(self, tag: str, payload: object = None) -> None:

@@ -202,7 +202,9 @@ class Kernel(SyscallInterface):
             ep = self._by_vci.get((desc.nic.name, desc.vci))
         else:
             yield from cpu.exec_us(cal.eth_driver_us, PRIO_INTERRUPT)
-            self.node.dcache.flush_range(desc.addr, striped_size(desc.length))
+            self.node.dcache.flush_range(
+                desc.addr, desc.dma_span or striped_size(desc.length)
+            )
             fid, demux_us = self.dpf.classify(desc.frame.data)
             yield from cpu.exec_us(demux_us, PRIO_INTERRUPT)
             self._m_demux_us.observe(demux_us)
@@ -268,6 +270,12 @@ class Kernel(SyscallInterface):
                 desc.addr = kbuf
                 desc.striped = False
                 desc.meta["kbuf"] = True
+                desc.dma_span = desc.length
+                if desc.buf is not None:
+                    # the ring-slot view is now stale; re-point the
+                    # pooled buffer at the kernel copy
+                    desc.buf.release()
+                    desc.buf = desc.nic.pktpool.acquire(kbuf, desc.length)
 
             if span is not None:
                 span.stage("ring_enqueue", self.engine.now)
@@ -338,6 +346,8 @@ class Kernel(SyscallInterface):
 
     def _recycle(self, desc: RxDescriptor) -> None:
         """Return the receive buffer to the hardware."""
+        if desc.buf is not None:
+            desc.buf.release()  # views over the slot are invalid from here
         if isinstance(desc.nic, An2Nic):
             desc.nic.replenish(desc.vci, desc.addr, self.cal.an2_max_packet)
         elif isinstance(desc.nic, EthernetNic) and not desc.meta.get("kbuf"):
@@ -350,6 +360,8 @@ class Kernel(SyscallInterface):
             span.stage("app_consume", self.engine.now)
             self._finish_span(desc, "app")
         if isinstance(desc.nic, EthernetNic) and desc.meta.get("kbuf"):
+            if desc.buf is not None:
+                desc.buf.release()
             ep.kbufs.append(desc.addr)
         else:
             self._recycle(desc)

@@ -23,8 +23,9 @@ import enum
 from typing import Any, Callable, Generator, Optional, TYPE_CHECKING
 
 from ..hw.calibration import PRIO_KERNEL, PRIO_USER
-from ..sim.engine import Event
+from ..sim.engine import Event, Timeout
 from ..sim.queues import Channel, Gate
+from ..sim.units import CYCLE_PS
 
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import Kernel
@@ -80,15 +81,45 @@ class Process:
 
     # -- computation -------------------------------------------------------
     def compute(self, cycles: int) -> Generator[Event, Any, None]:
-        """Burn user-mode cycles; only advances while scheduled."""
+        """Burn user-mode cycles; only advances while scheduled.
+
+        A chunk never exceeds one charge quantum, so the common case of
+        ``cpu.exec`` (acquire, one quantum timeout, release — no
+        mid-slice preemption check) is unrolled here rather than paying
+        a fresh ``exec`` generator and a deeper ``yield from`` chain per
+        chunk.  The yielded event sequence is identical.
+        """
         cpu = self.kernel.node.cpu
         remaining = int(cycles)
+        if _COMPUTE_CHUNK_CYCLES > cpu.cal.exec_quantum_cycles:
+            # oversized chunks need exec's intra-slice preemption logic
+            while remaining > 0:
+                yield self.gate.wait()
+                chunk = min(remaining, _COMPUTE_CHUNK_CYCLES)
+                start = self.engine.now
+                yield from cpu.exec(chunk, prio=PRIO_USER)
+                self.user_ticks += self.engine.now - start
+                remaining -= chunk
+            return
+        engine = self.engine
+        lock = cpu.lock
+        gate_wait = self.gate.wait
         while remaining > 0:
-            yield self.gate.wait()
-            chunk = min(remaining, _COMPUTE_CHUNK_CYCLES)
-            start = self.engine.now
-            yield from cpu.exec(chunk, prio=PRIO_USER)
-            self.user_ticks += self.engine.now - start
+            yield gate_wait()
+            chunk = (
+                remaining if remaining < _COMPUTE_CHUNK_CYCLES
+                else _COMPUTE_CHUNK_CYCLES
+            )
+            ustart = engine._now
+            yield lock.acquire(PRIO_USER)
+            start = engine._now
+            try:
+                yield Timeout(engine, chunk * CYCLE_PS)
+                cpu.busy_ticks += engine._now - start
+                cpu.cycles_charged += chunk
+            finally:
+                lock.release()
+            self.user_ticks += engine._now - ustart
             remaining -= chunk
 
     def compute_us(self, usec: float) -> Generator[Event, Any, None]:

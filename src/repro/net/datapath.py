@@ -67,8 +67,7 @@ class DataPath:
             return 0
         whole = nbytes - nbytes % 4
         if whole:
-            window_src = self.mem.u8_window(src, whole)
-            self.mem.u8_window(dst, whole)[:] = window_src
+            self.mem.copy_range(src, dst, whole)
         for i in range(whole, nbytes):  # trailing bytes
             self.mem.store_u8(dst + i, self.mem.load_u8(src + i))
         main, tail_words = divmod(whole // 4, 4)

@@ -15,7 +15,7 @@ import struct
 from dataclasses import dataclass, field
 
 from ..errors import ProtocolError
-from .checksum import inet_checksum, inet_checksum_final
+from .checksum import inet_checksum, inet_checksum_final, ones_complement_add16
 
 __all__ = [
     "ETHERTYPE_IP",
@@ -229,14 +229,22 @@ class UdpHeader:
         return header[:6] + struct.pack("!H", cksum)
 
     @staticmethod
-    def verify(src_ip: int, dst_ip: int, segment: bytes) -> bool:
-        """True when the datagram checksum is valid (or disabled)."""
+    def verify(src_ip: int, dst_ip: int,
+               segment: bytes | bytearray | memoryview) -> bool:
+        """True when the datagram checksum is valid (or disabled).
+
+        Accepts any buffer: the pseudo-header sum is folded into the
+        segment sum with one's-complement addition (valid because the
+        pseudo-header is even-length), so the segment is never copied
+        into a concatenation.
+        """
         if len(segment) < UdpHeader.SIZE:
             return False
-        if segment[6:8] == b"\x00\x00":
+        if segment[6] == 0 and segment[7] == 0:
             return True
         pseudo = pseudo_header(src_ip, dst_ip, IPPROTO_UDP, len(segment))
-        return inet_checksum(pseudo + segment) == 0xFFFF
+        total = ones_complement_add16(inet_checksum(pseudo), inet_checksum(segment))
+        return total == 0xFFFF
 
 
 @dataclass(frozen=True)
@@ -287,9 +295,11 @@ class TcpHeader:
         return raw[:16] + struct.pack("!H", cksum) + raw[18:]
 
     @staticmethod
-    def verify(src_ip: int, dst_ip: int, segment: bytes) -> bool:
+    def verify(src_ip: int, dst_ip: int,
+               segment: bytes | bytearray | memoryview) -> bool:
         pseudo = pseudo_header(src_ip, dst_ip, IPPROTO_TCP, len(segment))
-        return inet_checksum(pseudo + segment) == 0xFFFF
+        total = ones_complement_add16(inet_checksum(pseudo), inet_checksum(segment))
+        return total == 0xFFFF
 
     def flag_names(self) -> str:
         names = []

@@ -70,7 +70,9 @@ class _Partial:
 
     def add(self, header: Ipv4Header, data: bytes) -> Optional[bytes]:
         offset = header.frag_offset * 8
-        self.chunks[offset] = data
+        # always copy: a zero-copy view would alias a receive buffer
+        # that gets recycled long before the datagram completes
+        self.chunks[offset] = bytes(data)
         if not header.more_fragments:
             self.total = offset + len(data)
         if self.total is None:

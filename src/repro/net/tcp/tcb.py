@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ...hw.memory import PhysicalMemory, Region
+from ...sim.queues import TimerWheel
 
 __all__ = ["TcpState", "SharedTcb", "Tcb", "seq_lt", "seq_lte", "SHARED_TCB_SIZE"]
 
@@ -147,6 +148,9 @@ class Tcb:
     acks_sent: int = 0
     retransmits: int = 0
     dup_acks: int = 0
+    #: per-connection timer wheel (retransmit/delack churn); installed
+    #: by TcpConnection so cancelled timers never build up as tombstones
+    timers: Optional["TimerWheel"] = None
 
     @property
     def snd_inflight(self) -> int:

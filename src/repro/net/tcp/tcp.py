@@ -33,6 +33,7 @@ from ...errors import ProtocolError, SocketError
 from ...hw.nic.base import RxDescriptor
 from ...kernel.dpf import Predicate
 from ...kernel.upcall import UpcallHandler
+from ...sim.queues import TimerWheel
 from ...sim.units import us
 from ..checksum import le_word_sum
 from ..headers import (
@@ -128,6 +129,7 @@ class TcpConnection:
             snd_wnd=window,
             mss=mss,
         )
+        self.tcb.timers = TimerWheel(self.kernel.engine, name=name)
         self._unacked: deque[tuple[int, bytes]] = deque()  # (seq, payload)
         self._last_send_ticks = 0
         self._inplace_spans: deque[tuple[int, int]] = deque()
@@ -332,15 +334,20 @@ class TcpConnection:
         ring = self.endpoint.ring
         kernel = self.kernel
         engine = proc.engine
+        timers = self.tcb.timers
         if self.interrupt_driven:
             ok, item = ring.try_get()
             if not ok:
                 get_ev = ring.get()
-                timeout = engine.timeout(us(timeout_us))
+                # arm through the wheel: if data wins the race the
+                # timer is cancelled outright instead of left to fire
+                # as a dead event (tombstone churn at scale)
+                timeout = timers.after(us(timeout_us))
                 result = yield from proc.block_on(
                     engine.any_of([get_ev, timeout])
                 )
                 if get_ev in result:
+                    timers.cancel(timeout)
                     item = result[get_ev]
                 else:
                     ring.cancel_get(get_ev)
@@ -352,11 +359,12 @@ class TcpConnection:
             ok, item = ring.try_get()
             if not ok:
                 get_ev = ring.get()
-                timeout = engine.timeout(us(timeout_us))
+                timeout = timers.after(us(timeout_us))
                 result = yield from proc.block_on(
                     engine.any_of([get_ev, timeout])
                 )
                 if get_ev in result:
+                    timers.cancel(timeout)
                     item = result[get_ev]
                 else:
                     ring.cancel_get(get_ev)
@@ -377,7 +385,10 @@ class TcpConnection:
         mem = self.kernel.node.memory
         sh.lib_busy = 1
         try:
-            ip_addr, ip_len = self.stack.ip_payload_view(desc)
+            # fast substrate: raw is a zero-copy view of the receive
+            # buffer; everything parsed from it is consumed (written
+            # into the ring) before the replenish below recycles it
+            ip_addr, ip_len, raw = self.stack.read_ip_packet(desc)
             span = desc.meta.get("span")
             if span is not None:
                 span.stage("tcp_segment", proc.engine.now)
@@ -386,7 +397,6 @@ class TcpConnection:
                 self.kernel.node.trace(
                     "tcp.rx_segment", lambda: {"conn": self.name, "len": ip_len}
                 )
-            raw = mem.read(ip_addr, ip_len)
             try:
                 seg = parse_segment(raw, ip_addr)
             except ProtocolError:

@@ -160,8 +160,9 @@ class UdpSocket:
                 desc = yield from kernel.sys_recv_block(proc, self.endpoint)
             else:
                 desc = yield from kernel.sys_recv_poll(proc, self.endpoint)
-            ip_addr, ip_len = stack.ip_payload_view(desc)
-            raw = mem.read(ip_addr, ip_len)
+            # fast substrate: a zero-copy view of the receive buffer;
+            # every slice below stays a view until materialized
+            ip_addr, ip_len, raw = stack.read_ip_packet(desc)
             result = stack.reassembler.push(raw)
             if result is None:
                 yield from kernel.sys_replenish(proc, self.endpoint, desc)
@@ -219,6 +220,9 @@ class UdpSocket:
                     self.tel.counter("copy.bytes", kind="udp_rx").inc(payload_len)
                     self.tel.counter("copy.cycles", kind="udp_rx").inc(cycles)
                 payload = datagram[payload_off:payload_off + payload_len]
+            # materialize before the buffer is recycled under the view
+            # (bytes() of bytes is a no-op on the legacy path)
+            payload = bytes(payload)
             yield from kernel.sys_replenish(proc, self.endpoint, desc)
             self.rx_datagrams += 1
             if self.tel.enabled:

@@ -1,7 +1,17 @@
 """Deterministic discrete-event simulation substrate."""
 
-from .engine import AllOf, AnyOf, Engine, Event, Interrupt, SimProcess, Timeout
-from .queues import Channel, Gate, PriorityLock
+from .engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Event,
+    Interrupt,
+    SimProcess,
+    Timeout,
+    SUBSTRATE_ENV,
+    active_substrate,
+)
+from .queues import CalendarQueue, Channel, Gate, HeapEventQueue, PriorityLock, TimerWheel
 from .trace import TraceRecord, Tracer
 from . import units
 
@@ -13,9 +23,14 @@ __all__ = [
     "Interrupt",
     "SimProcess",
     "Timeout",
+    "SUBSTRATE_ENV",
+    "active_substrate",
+    "CalendarQueue",
     "Channel",
     "Gate",
+    "HeapEventQueue",
     "PriorityLock",
+    "TimerWheel",
     "TraceRecord",
     "Tracer",
     "units",

@@ -1,6 +1,6 @@
-"""Blocking primitives for simulation processes.
+"""Blocking primitives and event-queue structures for the simulator.
 
-Three primitives cover everything the modelled system needs:
+Process-facing primitives:
 
 * :class:`Channel` — an unbounded FIFO of messages (NIC notification
   rings, socket receive queues, inter-process mailboxes),
@@ -8,18 +8,323 @@ Three primitives cover everything the modelled system needs:
   CPU: interrupt-level work preempts user-level work at charge-quantum
   boundaries),
 * :class:`Gate` — a reusable level-triggered condition (scheduler
-  "you are now running" signals).
+  "you are now running" signals),
+* :class:`TimerWheel` — a schedule/cancel facade over engine timeouts
+  for high-churn users (the TCP retransmit/delack timers).
+
+Engine-facing event queues (see :mod:`repro.sim.engine`):
+
+* :class:`HeapEventQueue` — the legacy single binary heap,
+* :class:`CalendarQueue` — a bucketed calendar queue with a heap
+  fallback for far-future events.
+
+Both pop entries in exactly the same ``(time, seq)`` order, which is
+what lets ``REPRO_SIM_SUBSTRATE`` switch between them without changing
+any simulated result.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Optional
+from typing import Any, Optional, TYPE_CHECKING
 
-from .engine import Engine, Event
+if TYPE_CHECKING:  # pragma: no cover - import cycle: engine imports us
+    from .engine import Engine, Event, Timeout
 
-__all__ = ["Channel", "PriorityLock", "Gate"]
+__all__ = [
+    "Channel",
+    "PriorityLock",
+    "Gate",
+    "TimerWheel",
+    "HeapEventQueue",
+    "CalendarQueue",
+]
+
+
+# ---------------------------------------------------------------------------
+# event queues
+# ---------------------------------------------------------------------------
+#
+# An *entry* is the mutable list ``[at, seq, fn, args, slot]``.  ``at`` is
+# the fire time in ticks, ``seq`` the engine's tie-breaking sequence
+# number (unique, so heap comparisons never reach ``fn``), ``fn`` the
+# callback (``None`` once cancelled — a tombstone), and ``slot`` the
+# calendar-wheel bucket currently holding the entry (``None`` while it
+# sits in a heap).  Wheel-resident entries cancel by physical removal;
+# heap-resident ones become tombstones that the engine's run loop pops
+# and skips.
+
+
+class HeapEventQueue:
+    """The legacy substrate: one binary heap of entries."""
+
+    kind = "heap"
+
+    def __init__(self) -> None:
+        self._heap: list[list] = []
+        self.tombstones = 0          #: pending cancelled entries
+        self.tombstones_popped = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, entry: list) -> None:
+        heapq.heappush(self._heap, entry)
+
+    def peek_at(self) -> Optional[int]:
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> list:
+        entry = heapq.heappop(self._heap)
+        if entry[2] is None:
+            self.tombstones -= 1
+            self.tombstones_popped += 1
+        return entry
+
+    def pop_due(self, until: Optional[int] = None) -> Optional[list]:
+        """Combined peek+pop: the next entry, or ``None`` when the queue
+        is empty or the head fires beyond ``until``."""
+        heap = self._heap
+        if not heap or (until is not None and heap[0][0] > until):
+            return None
+        entry = heapq.heappop(heap)
+        if entry[2] is None:
+            self.tombstones -= 1
+            self.tombstones_popped += 1
+        return entry
+
+    def cancel(self, entry: list) -> None:
+        if entry[2] is not None:
+            entry[2] = None
+            entry[3] = ()
+            self.tombstones += 1
+
+    def stats(self) -> dict:
+        return {
+            "kind": self.kind,
+            "pending": len(self._heap),
+            "tombstones": self.tombstones,
+            "tombstones_popped": self.tombstones_popped,
+        }
+
+
+class CalendarQueue:
+    """A calendar queue (Brown 1988) with a far-future heap fallback.
+
+    Three tiers, ordered by fire time:
+
+    * ``_due`` — a small heap holding every entry below ``_dlim``; the
+      global minimum always lives here once :meth:`peek_at` has run.
+    * the *wheel* — ``nbuckets`` dict buckets of ``width`` ticks each,
+      covering ``[_dlim, _wend)``.  Dict buckets give O(1) insert *and*
+      O(1) cancel-by-removal, which is what kills timer-tombstone
+      buildup.
+    * ``_overflow`` — a heap for everything at or beyond ``_wend``
+      (e.g. coarse TCP retransmission timers many windows out).  When
+      the wheel drains, the window is re-based at the overflow minimum
+      and entries spill back in.
+
+    Pops occur in exactly ``(at, seq)`` order: every wheel/overflow
+    entry is ``>= _dlim`` while ``_due`` holds everything below it, so
+    advancing bucket-by-bucket preserves the total order a single heap
+    would produce (``tests/test_sim_calendar_queue.py`` pins this
+    against :class:`HeapEventQueue` under randomized schedules).
+    """
+
+    kind = "calendar"
+
+    #: default bucket width in ticks (2 µs: around the typical gap
+    #: between adjacent CPU/NIC events in the modelled workloads)
+    WIDTH = 2_000_000
+    NBUCKETS = 1024
+
+    def __init__(self, nbuckets: int = NBUCKETS, width: int = WIDTH) -> None:
+        if nbuckets <= 0 or width <= 0:
+            raise ValueError("nbuckets and width must be positive")
+        self._nbuckets = nbuckets
+        self._width = width
+        self._due: list[list] = []
+        self._wheel: list[dict[int, list]] = [dict() for _ in range(nbuckets)]
+        self._overflow: list[list] = []
+        self._dlim = width        # due covers [0, _dlim)
+        self._wend = width * (nbuckets + 1)   # wheel covers [_dlim, _wend)
+        self._wheel_count = 0
+        # -- statistics --
+        self.cancelled_removed = 0   #: cancels satisfied by bucket removal
+        self.tombstones = 0          #: pending heap-resident cancels
+        self.tombstones_popped = 0
+        self.overflow_spills = 0     #: pushes landing beyond the wheel
+        self.wheel_refills = 0       #: window re-basings from overflow
+
+    def __len__(self) -> int:
+        return len(self._due) + self._wheel_count + len(self._overflow)
+
+    def push(self, entry: list) -> None:
+        at = entry[0]
+        if at < self._dlim:
+            heapq.heappush(self._due, entry)
+        elif at < self._wend:
+            bucket = self._wheel[(at // self._width) % self._nbuckets]
+            bucket[entry[1]] = entry
+            entry[4] = bucket
+            self._wheel_count += 1
+        else:
+            heapq.heappush(self._overflow, entry)
+            self.overflow_spills += 1
+
+    def _advance(self) -> bool:
+        """Refill ``_due`` from the wheel (re-basing from overflow when
+        the wheel is empty); False when nothing is pending anywhere."""
+        width = self._width
+        while True:
+            while self._dlim < self._wend and self._wheel_count:
+                bucket = self._wheel[(self._dlim // width) % self._nbuckets]
+                self._dlim += width
+                if bucket:
+                    entries = list(bucket.values())
+                    bucket.clear()
+                    self._wheel_count -= len(entries)
+                    for entry in entries:
+                        entry[4] = None
+                    self._due = entries
+                    heapq.heapify(entries)
+                    return True
+            # wheel exhausted: re-base the window at the overflow minimum
+            if not self._overflow:
+                self._dlim = max(self._dlim, self._wend)
+                self._wend = self._dlim + width * self._nbuckets
+                return False
+            self.wheel_refills += 1
+            base = (self._overflow[0][0] // width) * width
+            self._dlim = max(base, self._wend)
+            self._wend = self._dlim + width * self._nbuckets
+            overflow = self._overflow
+            while overflow and overflow[0][0] < self._wend:
+                self.push(heapq.heappop(overflow))
+
+    def peek_at(self) -> Optional[int]:
+        if not self._due and not self._advance():
+            return None
+        return self._due[0][0]
+
+    def pop(self) -> list:
+        if not self._due:
+            self._advance()
+        entry = heapq.heappop(self._due)
+        if entry[2] is None:
+            self.tombstones -= 1
+            self.tombstones_popped += 1
+        return entry
+
+    def pop_due(self, until: Optional[int] = None) -> Optional[list]:
+        """Combined peek+pop: the next entry, or ``None`` when nothing
+        is pending or the global minimum fires beyond ``until``.  This
+        is the engine fast loop's single per-event queue call."""
+        due = self._due
+        if not due:
+            if not self._advance():
+                return None
+            due = self._due
+        if until is not None and due[0][0] > until:
+            return None
+        entry = heapq.heappop(due)
+        if entry[2] is None:
+            self.tombstones -= 1
+            self.tombstones_popped += 1
+        return entry
+
+    def cancel(self, entry: list) -> None:
+        if entry[2] is None:
+            return
+        entry[2] = None
+        entry[3] = ()
+        bucket = entry[4]
+        if bucket is not None:
+            # wheel-resident: remove outright, no tombstone ever pops
+            del bucket[entry[1]]
+            entry[4] = None
+            self._wheel_count -= 1
+            self.cancelled_removed += 1
+        else:
+            self.tombstones += 1
+
+    def stats(self) -> dict:
+        return {
+            "kind": self.kind,
+            "pending": len(self),
+            "nbuckets": self._nbuckets,
+            "width": self._width,
+            "due": len(self._due),
+            "wheel": self._wheel_count,
+            "overflow": len(self._overflow),
+            "cancelled_removed": self.cancelled_removed,
+            "tombstones": self.tombstones,
+            "tombstones_popped": self.tombstones_popped,
+            "overflow_spills": self.overflow_spills,
+            "wheel_refills": self.wheel_refills,
+        }
+
+
+class TimerWheel:
+    """Armed-timer bookkeeping for schedule-then-usually-cancel users.
+
+    TCP arms a retransmission/delayed-ack timeout for every pump of the
+    receive path and cancels it the moment data wins the race; left to
+    the raw engine this is the classic tombstone factory.  The wheel
+    tracks the live timeouts, funnels cancellation through the engine's
+    true-cancel path (bucket removal on the calendar substrate), and
+    keeps arm/cancel/fire counters for the benchmarks' drain asserts.
+    """
+
+    def __init__(self, engine: "Engine", name: str = "timers"):
+        self.engine = engine
+        self.name = name
+        self.armed = 0
+        self.cancelled = 0
+        self.fired = 0
+        self._live: dict[int, "Timeout"] = {}
+
+    def _prune(self) -> None:
+        fired = [key for key, t in self._live.items() if t.triggered]
+        for key in fired:
+            del self._live[key]
+        self.fired += len(fired)
+
+    def after(self, delay: int, value: Any = None) -> "Timeout":
+        """Arm a timeout ``delay`` ticks from now."""
+        self._prune()
+        timeout = self.engine.timeout(delay, value)
+        self._live[id(timeout)] = timeout
+        self.armed += 1
+        return timeout
+
+    def cancel(self, timeout: Optional["Timeout"]) -> None:
+        """Disarm; a no-op for None or an already-fired timeout."""
+        if timeout is None:
+            return
+        tracked = self._live.pop(id(timeout), None) is not None
+        if timeout.triggered:
+            if tracked:
+                self.fired += 1
+            return
+        timeout.cancel()
+        if tracked:
+            self.cancelled += 1
+
+    @property
+    def live(self) -> int:
+        self._prune()
+        return len(self._live)
+
+    def stats(self) -> dict:
+        self._prune()
+        return {
+            "armed": self.armed,
+            "cancelled": self.cancelled,
+            "fired": self.fired,
+            "live": len(self._live),
+        }
 
 
 class Channel:
@@ -84,6 +389,7 @@ class PriorityLock:
     def __init__(self, engine: Engine, name: str = "lock"):
         self.engine = engine
         self.name = name
+        self._acquire_name = name + ".acquire"
         self._locked = False
         self._seq = 0
         self._waiters: list[tuple[int, int, Event]] = []
@@ -102,13 +408,12 @@ class PriorityLock:
         return self._waiters[0][0] if self._waiters else None
 
     def acquire(self, priority: int = 10) -> Event:
-        ev = self.engine.event(f"{self.name}.acquire")
         if not self._locked:
             self._locked = True
-            ev.succeed(None)
-        else:
-            self._seq += 1
-            heapq.heappush(self._waiters, (priority, self._seq, ev))
+            return self.engine._done
+        ev = self.engine.event(self._acquire_name)
+        self._seq += 1
+        heapq.heappush(self._waiters, (priority, self._seq, ev))
         return ev
 
     def release(self) -> None:
@@ -133,6 +438,7 @@ class Gate:
     def __init__(self, engine: Engine, name: str = "gate"):
         self.engine = engine
         self.name = name
+        self._wait_name = name + ".wait"
         self._open = False
         self._waiters: deque[Event] = deque()
 
@@ -149,9 +455,8 @@ class Gate:
         self._open = False
 
     def wait(self) -> Event:
-        ev = self.engine.event(f"{self.name}.wait")
         if self._open:
-            ev.succeed(None)
-        else:
-            self._waiters.append(ev)
+            return self.engine._done
+        ev = self.engine.event(self._wait_name)
+        self._waiters.append(ev)
         return ev

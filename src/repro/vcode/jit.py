@@ -712,8 +712,10 @@ def _translate(program: Program, cal: Calibration, has_cache: bool,
             for line in reload_:
                 w(ind, line)
             if inline_cache:
-                # a trusted call may flush_all(), which replaces the
-                # tag list outright — re-bind our alias
+                # flush_all() now clears the tag store in place (the
+                # cache keeps a numpy view over the same buffer), but a
+                # re-bind is cheap and keeps us correct even if a
+                # trusted entry swaps the store wholesale
                 w(ind, "_tags = _cache._tags")
             w(ind, f"r2 = _v & {MASK32}")
             w(ind, "cycles += _x")
