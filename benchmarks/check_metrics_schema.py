@@ -54,6 +54,15 @@ WELL_KNOWN_KINDS = {
     "sim.calendar.tombstones_popped": "counters",
     "sim.calendar.pending": "gauges",
     "sim.calendar.tombstones": "gauges",
+    # fault-injection plane (sim/faults.py) and recovery counters
+    "faults.injected": "counters",
+    "faults.ledger": "gauges",
+    "tcp.checksum_failures": "counters",
+    "tcp.retransmits": "counters",
+    "tcp.fast_retransmits": "counters",
+    "udp.malformed": "counters",
+    "ash.abort_fallbacks": "counters",
+    "nic.rx_dropped": "counters",
 }
 
 

@@ -110,6 +110,10 @@ class AshSystem:
         self._ilps: dict[int, IntegratedPipeline] = {}
         self._next_ash = 1
         self._next_ilp = 1
+        #: fault-injection seam: a FaultPlane installs an
+        #: AshAbortInjector here (see repro.sim.faults); when it fires,
+        #: the invocation runs under a forced (tiny) cycle budget
+        self.fault_injector = None
 
     # -- download -----------------------------------------------------------
     def download(
@@ -242,17 +246,26 @@ class AshSystem:
         env = build_handler_env(kernel, desc, pending, allowed, mode="ash", ep=ep)
         vm = Vm(kernel.node.memory, cache=kernel.node.dcache, cal=cal,
                 telemetry=tel)
+        budget = budget_cycles(cal)
+        injector = self.fault_injector
+        if injector is not None:
+            forced = injector.consider()
+            if forced is not None:
+                budget = forced
         try:
             result = vm.run(
                 entry.program,
                 args=(desc.addr, desc.length, entry.user_word),
                 regs=entry.regs,
                 env=env,
-                cycle_budget=budget_cycles(cal),
+                cycle_budget=budget,
                 allowed=allowed or [],
             )
         except VmFault as exc:
             entry.involuntary_aborts += 1
+            # tell the kernel the fall-through below is abort recovery,
+            # not a voluntary pass, so it can count the degradation
+            desc.meta["ash_aborted"] = True
             burnt = getattr(exc, "cycles", 0)
             entry.account.charge(burnt)
             yield from cpu.exec(burnt, PRIO_INTERRUPT)

@@ -37,6 +37,8 @@ class Testbed:
     link: Link
     client_nic: Any
     server_nic: Any
+    #: installed by attach_fault_plane(); None = no injected faults
+    fault_plane: Any = None
 
     @property
     def client_kernel(self) -> Kernel:
@@ -62,6 +64,19 @@ class Testbed:
         self.engine.run(until=until)
         self.publish_telemetry()
 
+    def attach_fault_plane(self, seed: int = 0):
+        """Create (once) and return the testbed's
+        :class:`~repro.sim.faults.FaultPlane`, wired to the client
+        node's telemetry hub.  Call ``impair_link`` / ``stress_nic`` /
+        ``abort_ash`` / ``apply_scenario`` on the result."""
+        if self.fault_plane is None:
+            from ..sim.faults import FaultPlane
+
+            self.fault_plane = FaultPlane(
+                self.engine, seed=seed, telemetry=self.client.telemetry
+            )
+        return self.fault_plane
+
     def publish_telemetry(self) -> None:
         """End-of-run export of engine and packet-pool state into the
         node hubs, so sidecars carry ``sim.calendar.*`` and the
@@ -70,6 +85,8 @@ class Testbed:
         for node in (self.client, self.server):
             if node.pktpool is not None:
                 node.pktpool.publish_telemetry(node.telemetry)
+        if self.fault_plane is not None:
+            self.fault_plane.publish_telemetry()
 
 
 def make_an2_pair(

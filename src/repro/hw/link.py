@@ -54,6 +54,9 @@ class Link:
         self._free_at = [0, 0]
         self.frames_sent = [0, 0]
         self.bytes_sent = [0, 0]
+        #: fault-injection seam: a FaultPlane installs a LinkImpairment
+        #: here (see repro.sim.faults); None = the wire is perfect
+        self.impairment = None
 
     def attach(self, end: int, deliver: Callable[[Frame], None]) -> None:
         """Register the receive function for endpoint ``end`` (0 or 1)."""
@@ -84,5 +87,13 @@ class Link:
         arrival = tx_done + self.latency_ticks
         self.frames_sent[from_end] += 1
         self.bytes_sent[from_end] += len(frame.data)
-        self.engine._schedule(arrival, deliver, frame)
+        imp = self.impairment
+        if imp is None:
+            self.engine._schedule(arrival, deliver, frame)
+        else:
+            # the impairment decides what actually comes off the wire:
+            # nothing (drop), the frame late (delay/reorder), a mangled
+            # copy (corrupt), or several copies (duplicate)
+            for when, out in imp.on_send(from_end, frame, arrival):
+                self.engine._schedule(when, deliver, out)
         return arrival

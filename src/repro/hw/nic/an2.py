@@ -86,11 +86,17 @@ class An2Nic(Nic):
     # -- DMA ----------------------------------------------------------------
     def _dma(self, frame: Frame) -> Optional[RxDescriptor]:
         if frame.vci is None:
+            self._drop_reason = "unbound_vci"
             return None
         binding = self._bindings.get(frame.vci)
-        if binding is None or not binding.buffers:
+        if binding is None:
+            self._drop_reason = "unbound_vci"
+            return None
+        if not binding.buffers:
+            self._drop_reason = "no_buffer"
             return None
         if len(frame.data) > self.cal.an2_max_packet:
+            self._drop_reason = "oversize"
             return None
         addr, _size = binding.buffers.popleft()
         self.memory.write(addr, frame.data)

@@ -155,6 +155,13 @@ class Nic:
         self.rx_frames = 0
         self.tx_frames = 0
         self.rx_dropped = 0
+        #: why frames were dropped, by reason (backpressure telemetry)
+        self.drop_reasons: dict[str, int] = {}
+        #: fault-injection seam: a FaultPlane installs a NicStress here
+        #: (see repro.sim.faults); None = the device behaves
+        self.stress = None
+        #: subclasses set this before returning None from _dma
+        self._drop_reason = "no_buffer"
 
     def attach(self, link: Link, end: int) -> None:
         self.link = link
@@ -174,13 +181,26 @@ class Nic:
         self.link.send(self.link_end, frame)
 
     # -- receive ----------------------------------------------------------
+    def _count_drop(self, reason: str) -> None:
+        """One dropped rx frame, attributed to ``reason``."""
+        self.rx_dropped += 1
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.counter("nic.rx_dropped", nic=self.name, reason=reason).inc()
+
     def _on_wire_frame(self, frame: Frame) -> None:
+        stress = self.stress
+        if stress is not None:
+            frame = stress.on_rx(frame)
+            if frame is None:  # injected ring exhaustion
+                self._count_drop("stress_exhaust")
+                return
+        self._drop_reason = "no_buffer"
         desc = self._dma(frame)
         tel = self.telemetry
         if desc is None:
-            self.rx_dropped += 1
-            if tel is not None and tel.enabled:
-                tel.counter("nic.rx_dropped", nic=self.name).inc()
+            self._count_drop(self._drop_reason)
             return
         self.rx_frames += 1
         if self.pktpool is not None:

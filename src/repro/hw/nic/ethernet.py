@@ -69,8 +69,10 @@ class EthernetNic(Nic):
     # -- DMA ----------------------------------------------------------------
     def _dma(self, frame: Frame) -> Optional[RxDescriptor]:
         if len(frame.data) > self.cal.eth_mtu + 18:  # payload + 14B hdr + FCS
+            self._drop_reason = "oversize"
             return None
         if not self._free_slots:
+            self._drop_reason = "ring_exhausted"
             return None
         base = self._free_slots.popleft()
         data = frame.data

@@ -97,6 +97,9 @@ class Kernel(SyscallInterface):
         self._by_filter: dict[int, Endpoint] = {}
         self.rx_interrupts = 0
         self.demux_misses = 0
+        #: messages whose ASH aborted involuntarily and which then
+        #: degraded to the upcall/normal path (zero-loss recovery)
+        self.ash_abort_fallbacks = 0
         # telemetry: instruments are created once here; each op on them
         # is a no-op branch while the node's hub is disabled
         tel = node.telemetry
@@ -242,6 +245,12 @@ class Kernel(SyscallInterface):
                     self._finish_span(desc, "ash")
                     self._recycle(desc)
                     return
+                if desc.meta.pop("ash_aborted", False):
+                    # involuntary abort: the message is NOT lost — it
+                    # falls through to the upcall/normal path below
+                    self.ash_abort_fallbacks += 1
+                    if self.telemetry.enabled:
+                        self.telemetry.counter("ash.abort_fallbacks").inc()
 
             if ep.upcall is not None:
                 consumed = yield from self.upcalls.dispatch(ep, ep.upcall, desc)
@@ -401,6 +410,7 @@ class Kernel(SyscallInterface):
             "time_ps": self.engine.now,
             "rx_interrupts": self.rx_interrupts,
             "demux_misses": self.demux_misses,
+            "ash_abort_fallbacks": self.ash_abort_fallbacks,
             "context_switches": self.scheduler.context_switches,
             "endpoints": [
                 {
@@ -419,6 +429,7 @@ class Kernel(SyscallInterface):
                     "rx_frames": nic.rx_frames,
                     "tx_frames": nic.tx_frames,
                     "rx_dropped": nic.rx_dropped,
+                    "drop_reasons": dict(sorted(nic.drop_reasons.items())),
                 }
                 for nic in sorted(self.node.nics.values(),
                                   key=lambda n: n.name)

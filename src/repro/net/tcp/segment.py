@@ -69,6 +69,13 @@ def parse_segment(raw: bytes, ip_addr: int) -> ParsedSegment:
     payload_len = ip.total_length - payload_off
     if payload_len < 0:
         raise ProtocolError("IP total_length shorter than headers")
+    if ip.total_length > len(raw):
+        # a truncated DMA (or mangled length field) must not silently
+        # yield a short payload slice — reject it like any malformed frame
+        raise ProtocolError(
+            f"IP total_length {ip.total_length} exceeds the "
+            f"{len(raw)}-byte frame (truncated)"
+        )
     payload = raw[payload_off:payload_off + payload_len]
     return ParsedSegment(
         ip=ip,

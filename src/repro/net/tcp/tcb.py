@@ -148,6 +148,12 @@ class Tcb:
     acks_sent: int = 0
     retransmits: int = 0
     dup_acks: int = 0
+    #: inbound segments dropped because the TCP checksum failed verify
+    checksum_failures: int = 0
+    #: duplicate ACKs received (the fast-retransmit trigger)
+    dup_acks_rcvd: int = 0
+    #: retransmissions triggered by three duplicate ACKs (no timer wait)
+    fast_retransmits: int = 0
     #: per-connection timer wheel (retransmit/delack churn); installed
     #: by TcpConnection so cancelled timers never build up as tombstones
     timers: Optional["TimerWheel"] = None

@@ -64,6 +64,11 @@ RTO_US = 50_000.0
 MAX_SYN_TRIES = 5
 #: consecutive no-progress retransmission rounds before giving up
 MAX_REXMIT_ROUNDS = 30
+#: retransmission-timeout backoff cap (the RTO doubles on every
+#: no-progress round up to rto_us * MAX_RTO_BACKOFF, then holds)
+MAX_RTO_BACKOFF = 8
+#: duplicate ACKs that trigger a fast retransmit of the oldest segment
+DUP_ACK_THRESHOLD = 3
 
 
 class TcpConnection:
@@ -131,6 +136,8 @@ class TcpConnection:
         )
         self.tcb.timers = TimerWheel(self.kernel.engine, name=name)
         self._unacked: deque[tuple[int, bytes]] = deque()  # (seq, payload)
+        self._dup_ack_count = 0   #: consecutive duplicate ACKs seen
+        self._rto_backoff = 1     #: current RTO multiplier (exponential)
         self._last_send_ticks = 0
         self._inplace_spans: deque[tuple[int, int]] = deque()
         self.peer_fin = False
@@ -224,9 +231,13 @@ class TcpConnection:
             sh.lib_busy = 0
             if not seq_lt(sh.snd_una, target):
                 break
-            got = yield from self._pump(proc, timeout_us=self.rto_us)
+            got = yield from self._pump(
+                proc, timeout_us=self.rto_us * self._rto_backoff
+            )
             if not got:
                 yield from self._retransmit(proc)
+                # back off exponentially while nothing is getting through
+                self._rto_backoff = min(self._rto_backoff * 2, MAX_RTO_BACKOFF)
             if sh.snd_una == last_una:
                 stale_rounds += 1
                 if stale_rounds > MAX_REXMIT_ROUNDS:
@@ -246,6 +257,7 @@ class TcpConnection:
         sh = tcb.shared
         mem = self.kernel.node.memory
         out = bytearray()
+        stale_rounds = 0
         while len(out) < n:
             avail = sh.available
             if avail:
@@ -276,9 +288,27 @@ class TcpConnection:
                 continue
             if self.peer_fin:
                 break
-            got = yield from self._pump(proc, timeout_us=self.rto_us)
+            got = yield from self._pump(
+                proc, timeout_us=self.rto_us * self._rto_backoff
+            )
             if not got:
                 yield from self._retransmit(proc)
+                if self._unacked:
+                    # we are owed an acknowledgment and nothing moves:
+                    # back off, and bound the wait so a dead peer surfaces
+                    # as an error instead of an infinite read
+                    self._rto_backoff = min(
+                        self._rto_backoff * 2, MAX_RTO_BACKOFF
+                    )
+                    stale_rounds += 1
+                    if stale_rounds > MAX_REXMIT_ROUNDS:
+                        raise ProtocolError(
+                            f"{self.name}: peer unresponsive in read "
+                            f"({MAX_REXMIT_ROUNDS} retransmission rounds "
+                            f"with no acknowledgment progress)"
+                        )
+            else:
+                stale_rounds = 0
         return bytes(out)
 
     def linger(self, proc: "Process", duration_us: float = 100_000.0) -> Generator:
@@ -426,7 +456,12 @@ class TcpConnection:
                 yield from proc.compute_us(cal.cksum_fixed_us)
                 tcp_and_payload = raw[Ipv4Header.SIZE:seg.ip.total_length]
                 if not TcpHeader.verify(seg.ip.src, seg.ip.dst, tcp_and_payload):
-                    return  # corrupt: drop silently, timer recovers
+                    # corrupt: drop-and-count; the sender's timer recovers
+                    tcb.checksum_failures += 1
+                    if self.tel.enabled:
+                        self.tel.counter("tcp.checksum_failures",
+                                         conn=self.name).inc()
+                    return
 
             yield from self._segment_arrived(proc, seg)
         finally:
@@ -485,6 +520,30 @@ class TcpConnection:
                     ack,
                 ):
                     self._unacked.popleft()
+                # forward progress: the path works again
+                self._dup_ack_count = 0
+                self._rto_backoff = 1
+            elif (
+                ack == sh.snd_una
+                and self._unacked
+                and not seg.payload_len
+                and not flags & (TCP_SYN | TCP_FIN)
+            ):
+                # pure duplicate ACK: the receiver is signalling a hole.
+                # After three in a row, resend the oldest unacknowledged
+                # segment immediately instead of waiting out the RTO.
+                tcb.dup_acks_rcvd += 1
+                self._dup_ack_count += 1
+                if self._dup_ack_count == DUP_ACK_THRESHOLD:
+                    self._dup_ack_count = 0
+                    tcb.fast_retransmits += 1
+                    if self.tel.enabled:
+                        self.tel.counter("tcp.fast_retransmits",
+                                         conn=self.name).inc()
+                    rseq, rpayload = self._unacked[0]
+                    yield from self._send_data(
+                        proc, rpayload, push=True, seq=rseq, rexmit=True
+                    )
             tcb.snd_wnd = seg.tcp.window
 
         # -- data ----------------------------------------------------------
@@ -645,6 +704,8 @@ class TcpConnection:
         if not self._unacked:
             return
         self.tcb.retransmits += 1
+        if self.tel.enabled:
+            self.tel.counter("tcp.retransmits", conn=self.name).inc()
         for seq, payload in list(self._unacked):
             yield from self._send_data(
                 proc, payload, push=True, seq=seq, rexmit=True

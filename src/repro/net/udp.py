@@ -98,6 +98,9 @@ class UdpSocket:
         self.rx_datagrams = 0
         self.tx_datagrams = 0
         self.checksum_failures = 0
+        #: frames dropped because they would not parse (truncated DMA,
+        #: mangled length fields)
+        self.malformed = 0
 
     # -- send ---------------------------------------------------------------
     def sendto(
@@ -163,13 +166,23 @@ class UdpSocket:
             # fast substrate: a zero-copy view of the receive buffer;
             # every slice below stays a view until materialized
             ip_addr, ip_len, raw = stack.read_ip_packet(desc)
-            result = stack.reassembler.push(raw)
-            if result is None:
+            try:
+                result = stack.reassembler.push(raw)
+                if result is None:
+                    yield from kernel.sys_replenish(proc, self.endpoint, desc)
+                    continue  # fragment: wait for the rest
+                ip_header, datagram = result
+                yield from proc.compute_us(cal.udp_recv_parse_us)
+                udp = UdpHeader.unpack(datagram)
+            except ProtocolError:
+                # truncated DMA or mangled length fields: drop-and-count,
+                # keep waiting
+                self.malformed += 1
+                if self.tel.enabled:
+                    self.tel.counter("udp.malformed",
+                                     port=self.local_port).inc()
                 yield from kernel.sys_replenish(proc, self.endpoint, desc)
-                continue  # fragment: wait for the rest
-            ip_header, datagram = result
-            yield from proc.compute_us(cal.udp_recv_parse_us)
-            udp = UdpHeader.unpack(datagram)
+                continue
             payload_len = udp.length - UdpHeader.SIZE
             payload_off = UdpHeader.SIZE
             # a reassembled datagram no longer lives contiguously in the

@@ -25,6 +25,8 @@ __all__ = [
     "BudgetAccount",
     "straightline_cycle_bound",
     "budget_cycles",
+    "forced_abort_budget",
+    "FORCED_ABORT_CYCLES",
 ]
 
 
@@ -57,6 +59,22 @@ def straightline_cycle_bound(program: Program, cal: Calibration) -> int:
 def budget_cycles(cal: Calibration) -> int:
     """The timer budget: two clock ticks, expressed in cycles."""
     return cal.us_to_cycles(cal.ash_budget_ticks * cal.tick_us)
+
+
+#: default cycle budget for an injected mid-handler abort: large enough
+#: that the handler demonstrably *starts* executing, small enough that
+#: any real handler trips BudgetExceeded partway through
+FORCED_ABORT_CYCLES = 8
+
+
+def forced_abort_budget(cal: Calibration,
+                        cycles: int = FORCED_ABORT_CYCLES) -> int:
+    """A deliberately tiny cycle budget used by fault injection to force
+    an involuntary abort *mid-handler* — the paper's two-clock-tick timer
+    expiry, made to fire early and deterministically.  Clamped strictly
+    below the real budget so the abort accounting is always the
+    involuntary-abort path."""
+    return max(1, min(cycles, budget_cycles(cal) - 1))
 
 
 @dataclass

@@ -1,0 +1,345 @@
+"""Deterministic fault-injection plane.
+
+The paper's premise is that ASHs run *in the kernel's interrupt path*,
+so the system has to stay safe and live when messages are lost, mangled
+or duplicated, when the NIC runs out of receive buffers, and when a
+handler is involuntarily aborted mid-run.  The :class:`FaultPlane`
+makes all of those conditions injectable at well-defined seams:
+
+* **link impairments** (:meth:`FaultPlane.impair_link`) — drop,
+  bit-corrupt, duplicate, reorder and delay-jitter frames on a
+  :class:`~repro.hw.link.Link`;
+* **NIC stress** (:meth:`FaultPlane.stress_nic`) — forced rx-ring
+  exhaustion and truncated DMA on a :class:`~repro.hw.nic.base.Nic`;
+* **kernel-path faults** (:meth:`FaultPlane.abort_ash`) — forced
+  involuntary ASH aborts mid-handler, via a deliberately tiny cycle
+  budget (:func:`repro.sandbox.budget.forced_abort_budget`).
+
+Every decision is drawn from a per-seam :class:`random.Random` stream
+seeded from ``(plane seed, seam name)`` and consumed in seam-call
+order.  Because both simulation substrates produce bit-identical event
+orderings, an identical seeded fault schedule yields **bit-identical
+outcomes** (delivered bytes, retransmit counts, the fault ledger) on
+``fast`` and ``legacy`` — the bar ``tests/test_faults.py`` pins.
+
+Activation windows (``start_us``/``stop_us``) are evaluated against the
+engine's deterministic clock, so scenarios are scriptable as plain data
+(:meth:`FaultPlane.apply_scenario`)::
+
+    plane = tb.attach_fault_plane(seed=42)
+    plane.apply_scenario([
+        {"site": "link", "target": tb.link, "drop": 0.05, "skip_first": 3},
+        {"site": "nic", "target": tb.server_nic, "exhaust": 0.5,
+         "start_us": 2_000.0, "stop_us": 4_000.0},
+        {"site": "ash", "target": tb.server_kernel, "every": 2},
+    ])
+
+The plane keeps a deterministic **ledger** of everything it injected
+(:meth:`FaultPlane.ledger`) and mirrors it into ``faults.*`` telemetry.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import SimError
+from .units import us
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.link import Frame, Link
+    from ..hw.nic.base import Nic
+    from ..kernel.kernel import Kernel
+
+__all__ = [
+    "FaultPlane",
+    "LinkImpairment",
+    "NicStress",
+    "AshAbortInjector",
+]
+
+#: every fault kind the plane can record in its ledger
+FAULT_KINDS = (
+    "drop", "corrupt", "duplicate", "reorder", "delay",
+    "nic_exhaust", "nic_truncate", "ash_abort",
+)
+
+
+class _Injector:
+    """Shared state for one installed injector: window + skip gates."""
+
+    def __init__(self, plane: "FaultPlane", site: str, skip_first: int,
+                 start_us: Optional[float], stop_us: Optional[float]):
+        self.plane = plane
+        self.site = site
+        self.rng = plane._rng_for(site)
+        self.skip_first = skip_first
+        self.start = None if start_us is None else us(start_us)
+        self.stop = None if stop_us is None else us(stop_us)
+        self.seen = 0        #: seam invocations observed (incl. skipped)
+        self.enabled = True
+
+    def _gate(self) -> bool:
+        """One seam invocation: True when injection may fire now."""
+        self.seen += 1
+        if not self.enabled or self.seen <= self.skip_first:
+            return False
+        now = self.plane.engine.now
+        if self.start is not None and now < self.start:
+            return False
+        if self.stop is not None and now >= self.stop:
+            return False
+        return True
+
+
+class LinkImpairment(_Injector):
+    """Wire-level impairments for one :class:`~repro.hw.link.Link`.
+
+    Rates are independent per-frame probabilities, drawn in a fixed
+    order (drop, corrupt, duplicate, reorder, jitter) so each knob's
+    pattern is a deterministic function of the seed and the frame
+    sequence.  A dropped frame consumes no further draws.
+    """
+
+    def __init__(self, plane: "FaultPlane", link: "Link",
+                 drop: float = 0.0, corrupt: float = 0.0,
+                 duplicate: float = 0.0, reorder: float = 0.0,
+                 delay_jitter_us: float = 0.0,
+                 reorder_delay_us: float = 150.0,
+                 duplicate_gap_us: float = 5.0,
+                 ends: tuple[int, ...] = (0, 1),
+                 skip_first: int = 0,
+                 start_us: Optional[float] = None,
+                 stop_us: Optional[float] = None):
+        super().__init__(plane, f"link:{link.name}", skip_first,
+                         start_us, stop_us)
+        self.link = link
+        self.drop = drop
+        self.corrupt = corrupt
+        self.duplicate = duplicate
+        self.reorder = reorder
+        self.jitter_ticks = us(delay_jitter_us)
+        self.reorder_ticks = us(reorder_delay_us)
+        self.dup_gap_ticks = us(duplicate_gap_us)
+        self.ends = tuple(ends)
+
+    def on_send(self, from_end: int, frame: "Frame",
+                arrival: int) -> list[tuple[int, "Frame"]]:
+        """Deliveries for one transmitted frame: ``[(tick, frame), ...]``
+        (empty = the wire ate it)."""
+        if from_end not in self.ends or not self._gate():
+            return [(arrival, frame)]
+        rng = self.rng
+        plane = self.plane
+        site = self.site
+        if self.drop and rng.random() < self.drop:
+            plane.record("drop", site)
+            return []
+        if self.corrupt and rng.random() < self.corrupt and len(frame.data):
+            frame = self._corrupt(frame, rng)
+            plane.record("corrupt", site)
+        deliveries = [(arrival, frame)]
+        if self.duplicate and rng.random() < self.duplicate:
+            deliveries.append((arrival + self.dup_gap_ticks,
+                               self._clone(frame)))
+            plane.record("duplicate", site)
+        if self.reorder and rng.random() < self.reorder:
+            # hold the frame long enough for later frames to overtake it
+            deliveries = [(when + self.reorder_ticks, f)
+                          for when, f in deliveries]
+            plane.record("reorder", site)
+        if self.jitter_ticks:
+            extra = rng.randrange(self.jitter_ticks + 1)
+            if extra:
+                deliveries = [(when + extra, f) for when, f in deliveries]
+                plane.record("delay", site)
+        return deliveries
+
+    @staticmethod
+    def _clone(frame: "Frame") -> "Frame":
+        from ..hw.link import Frame as _Frame
+
+        return _Frame(frame.data, vci=frame.vci, meta=dict(frame.meta))
+
+    @staticmethod
+    def _corrupt(frame: "Frame", rng: random.Random) -> "Frame":
+        """Flip one random bit of the payload (the link-CRC-escaping
+        corruption transport checksums exist to catch)."""
+        from ..hw.link import Frame as _Frame
+
+        data = bytearray(frame.data)
+        pos = rng.randrange(len(data))
+        data[pos] ^= 1 << rng.randrange(8)
+        return _Frame(bytes(data), vci=frame.vci, meta=dict(frame.meta))
+
+
+class NicStress(_Injector):
+    """Receive-side NIC stress: forced ring exhaustion, truncated DMA."""
+
+    def __init__(self, plane: "FaultPlane", nic: "Nic",
+                 exhaust: float = 0.0, truncate: float = 0.0,
+                 truncate_to: int = 12,
+                 skip_first: int = 0,
+                 start_us: Optional[float] = None,
+                 stop_us: Optional[float] = None):
+        # NIC names repeat across nodes ("an2" on client and server), so
+        # qualify the seam by installation index — deterministic because
+        # injectors are installed in program order
+        super().__init__(plane, f"nic:{nic.name}#{len(plane.injectors)}",
+                         skip_first, start_us, stop_us)
+        self.nic = nic
+        self.exhaust = exhaust
+        self.truncate = truncate
+        self.truncate_to = truncate_to
+
+    def on_rx(self, frame: "Frame") -> Optional["Frame"]:
+        """Transform an arriving frame; None = drop as if no buffer."""
+        if not self._gate():
+            return frame
+        rng = self.rng
+        if self.exhaust and rng.random() < self.exhaust:
+            self.plane.record("nic_exhaust", self.site)
+            return None
+        if self.truncate and rng.random() < self.truncate \
+                and len(frame.data) > self.truncate_to:
+            self.plane.record("nic_truncate", self.site)
+            from ..hw.link import Frame as _Frame
+
+            return _Frame(bytes(frame.data[:self.truncate_to]),
+                          vci=frame.vci, meta=dict(frame.meta))
+        return frame
+
+
+class AshAbortInjector(_Injector):
+    """Forces involuntary aborts mid-handler.
+
+    Installed on a kernel's :class:`~repro.ash.system.AshSystem`; when
+    it fires, the invocation runs under
+    :func:`repro.sandbox.budget.forced_abort_budget` — a budget so small
+    the handler trips ``BudgetExceeded`` partway through, exactly the
+    paper's two-clock-tick timer abort, just early.  The kernel must
+    then degrade to the next delivery path (upcall / normal) with zero
+    message loss.
+    """
+
+    def __init__(self, plane: "FaultPlane", kernel: "Kernel",
+                 every: Optional[int] = None, rate: float = 0.0,
+                 max_aborts: Optional[int] = None,
+                 abort_budget: Optional[int] = None,
+                 skip_first: int = 0,
+                 start_us: Optional[float] = None,
+                 stop_us: Optional[float] = None):
+        super().__init__(plane, f"ash:{kernel.node.name}", skip_first,
+                         start_us, stop_us)
+        from ..sandbox.budget import forced_abort_budget
+
+        self.kernel = kernel
+        self.every = every
+        self.rate = rate
+        self.max_aborts = max_aborts
+        self.budget = (abort_budget if abort_budget is not None
+                       else forced_abort_budget(kernel.cal))
+        self.fired = 0
+
+    def consider(self) -> Optional[int]:
+        """Called once per ASH invocation; returns the forced (tiny)
+        cycle budget when this invocation must abort, else None."""
+        if not self._gate():
+            return None
+        if self.max_aborts is not None and self.fired >= self.max_aborts:
+            return None
+        fire = False
+        if self.every:
+            fire = self.seen % self.every == 0
+        if not fire and self.rate:
+            fire = self.rng.random() < self.rate
+        if not fire:
+            return None
+        self.fired += 1
+        self.plane.record("ash_abort", self.site)
+        return self.budget
+
+
+class FaultPlane:
+    """Seeded, scenario-scriptable fault injection for one engine."""
+
+    def __init__(self, engine, seed: int = 0, telemetry=None):
+        self.engine = engine
+        self.seed = seed
+        self.telemetry = telemetry
+        self._ledger: dict[str, int] = {}
+        self.injectors: list[_Injector] = []
+
+    # -- deterministic randomness ----------------------------------------
+    def _rng_for(self, site: str) -> random.Random:
+        # string seeding is deterministic across processes (unlike
+        # hash()), so the same (seed, site) always yields the same stream
+        return random.Random(f"faultplane:{self.seed}:{site}")
+
+    # -- installation -----------------------------------------------------
+    def impair_link(self, link: "Link", **knobs) -> LinkImpairment:
+        """Install wire impairments on ``link`` (see LinkImpairment)."""
+        imp = LinkImpairment(self, link, **knobs)
+        link.impairment = imp
+        self.injectors.append(imp)
+        return imp
+
+    def stress_nic(self, nic: "Nic", **knobs) -> NicStress:
+        """Install receive-side stress on ``nic`` (see NicStress)."""
+        stress = NicStress(self, nic, **knobs)
+        nic.stress = stress
+        self.injectors.append(stress)
+        return stress
+
+    def abort_ash(self, kernel: "Kernel", **knobs) -> AshAbortInjector:
+        """Force involuntary ASH aborts on ``kernel`` (see
+        AshAbortInjector)."""
+        injector = AshAbortInjector(self, kernel, **knobs)
+        kernel.ash_system.fault_injector = injector
+        self.injectors.append(injector)
+        return injector
+
+    def apply_scenario(self, scenario: list[dict]) -> list[_Injector]:
+        """Install a declarative scenario: a list of specs, each with a
+        ``site`` ("link" / "nic" / "ash"), a ``target`` object, and the
+        matching injector's keyword knobs."""
+        installed = []
+        for spec in scenario:
+            spec = dict(spec)
+            site = spec.pop("site")
+            target = spec.pop("target")
+            if site == "link":
+                installed.append(self.impair_link(target, **spec))
+            elif site == "nic":
+                installed.append(self.stress_nic(target, **spec))
+            elif site == "ash":
+                installed.append(self.abort_ash(target, **spec))
+            else:
+                raise SimError(f"unknown fault site {site!r}")
+        return installed
+
+    # -- accounting --------------------------------------------------------
+    def record(self, kind: str, site: str) -> None:
+        self._ledger[kind] = self._ledger.get(kind, 0) + 1
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.counter("faults.injected", kind=kind, site=site).inc()
+
+    def ledger(self) -> dict[str, int]:
+        """Deterministic count of injected faults by kind — part of the
+        substrate bit-identity bar."""
+        return dict(sorted(self._ledger.items()))
+
+    def total(self, kind: Optional[str] = None) -> int:
+        if kind is not None:
+            return self._ledger.get(kind, 0)
+        return sum(self._ledger.values())
+
+    def publish_telemetry(self, hub=None) -> None:
+        """End-of-run export: the ledger as ``faults.ledger`` gauges
+        (idempotent sets, safe to call per phase)."""
+        tel = hub if hub is not None else self.telemetry
+        if tel is None or not tel.enabled:
+            return
+        for kind, count in self._ledger.items():
+            tel.gauge("faults.ledger", kind=kind).set(count)

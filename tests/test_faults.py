@@ -1,0 +1,302 @@
+"""Chaos/property tests for the deterministic fault-injection plane.
+
+Covers the FaultPlane's three seam families (link impairments, NIC
+stress, forced mid-handler ASH aborts) and the recovery guarantees they
+exercise: TCP completing byte-identical under drop+corrupt+duplicate+
+reorder, NICs dropping-and-counting under injected exhaustion, UDP
+surviving truncated DMA, and an aborted ASH degrading to the upcall
+path with zero message loss.  The same seeded schedule must produce
+bit-identical outcomes on the fast and legacy simulation substrates.
+"""
+
+import random
+
+import pytest
+
+from repro.ash.examples import build_remote_increment
+from repro.bench.testbed import (
+    CLIENT_TO_SERVER_VCI,
+    SERVER_TO_CLIENT_VCI,
+    make_an2_pair,
+)
+from repro.hw.link import Frame
+from repro.kernel.upcall import UpcallHandler
+from repro.net.socket_api import make_stacks, tcp_pair
+from repro.net.stack import NetStack
+from repro.net.udp import UdpSocket
+from repro.sim.engine import Engine
+
+CHAOS_KNOBS = dict(drop=0.03, corrupt=0.03, duplicate=0.04, reorder=0.04)
+
+
+def chaos_tcp_transfer(substrate: str, seed: int, nbytes: int,
+                       knobs: dict = CHAOS_KNOBS) -> dict:
+    """Bulk transfer under combined impairments; returns observables."""
+    tb = make_an2_pair(engine=Engine(substrate=substrate))
+    cstack, sstack = make_stacks(tb)
+    client, server = tcp_pair(cstack, sstack, rto_us=20_000.0)
+    plane = tb.attach_fault_plane(seed=seed)
+    plane.impair_link(tb.link, skip_first=3, **knobs)
+    data = bytes(random.Random(seed).randrange(256) for _ in range(nbytes))
+    got = []
+
+    def server_body(proc):
+        yield from server.accept(proc)
+        got.append((yield from server.read(proc, nbytes)))
+        yield from server.write(proc, b"done")
+
+    def client_body(proc):
+        yield from client.connect(proc)
+        yield from client.write(proc, data)
+        reply = yield from client.read(proc, 4)
+        assert reply == b"done"
+        yield from client.linger(proc, duration_us=2_000_000.0)
+
+    tb.server_kernel.spawn_process("server", server_body)
+    tb.client_kernel.spawn_process("client", client_body)
+    tb.run()
+    assert got and got[0] == data, "transfer corrupted or incomplete"
+    return {
+        "delivered": got[0],
+        "ledger": plane.ledger(),
+        "retransmits": (client.tcb.retransmits, server.tcb.retransmits),
+        "fast_retransmits": (client.tcb.fast_retransmits,
+                             server.tcb.fast_retransmits),
+        "checksum_failures": (client.tcb.checksum_failures,
+                              server.tcb.checksum_failures),
+        "dup_acks_rcvd": (client.tcb.dup_acks_rcvd,
+                          server.tcb.dup_acks_rcvd),
+        "time_ps": tb.engine.now,
+    }
+
+
+def test_fault_smoke():
+    """Fast tier-1 smoke: a combined-impairment transfer completes and
+    the seeded schedule reproduces exactly."""
+    a = chaos_tcp_transfer("fast", seed=11, nbytes=16_000)
+    b = chaos_tcp_transfer("fast", seed=11, nbytes=16_000)
+    assert sum(a["ledger"].values()) > 0, "no fault ever fired"
+    assert a == b, "same seed must reproduce the same run exactly"
+
+
+def test_combined_impairments_bit_identical_across_substrates():
+    """The acceptance bar: under an identical seeded fault schedule the
+    fast and legacy substrates produce bit-identical delivered bytes,
+    retransmit counts, and fault ledgers."""
+    fast = chaos_tcp_transfer("fast", seed=23, nbytes=24_000)
+    legacy = chaos_tcp_transfer("legacy", seed=23, nbytes=24_000)
+    assert fast["delivered"] == legacy["delivered"]
+    assert fast["ledger"] == legacy["ledger"]
+    assert fast == legacy  # including virtual-time and every counter
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [3, 17, 91])
+def test_chaos_sweep_heavy(seed):
+    """Heavier chaos matrix (slow tier): higher rates, larger transfer,
+    both substrates identical."""
+    knobs = dict(drop=0.06, corrupt=0.06, duplicate=0.08, reorder=0.08)
+    fast = chaos_tcp_transfer("fast", seed=seed, nbytes=48_000, knobs=knobs)
+    legacy = chaos_tcp_transfer("legacy", seed=seed, nbytes=48_000,
+                                knobs=knobs)
+    assert fast == legacy
+    assert sum(fast["ledger"].values()) > 0
+
+
+class TestLinkImpairments:
+    def test_corrupt_segments_detected_and_counted(self):
+        """Bit-corrupted TCP segments fail checksum verification and are
+        dropped-and-counted, never delivered as payload."""
+        out = chaos_tcp_transfer(
+            "fast", seed=7, nbytes=48_000,
+            knobs=dict(corrupt=0.3),
+        )
+        assert out["ledger"].get("corrupt", 0) >= 10
+        # corruption is caught by the TCP checksum (counted) or, when the
+        # flipped bit lands in the IP header, by the header parse; either
+        # way the sender's timer retransmits the segment
+        assert sum(out["checksum_failures"]) > 0
+        assert sum(out["retransmits"]) > 0
+
+    def test_duplicates_and_reorder_yield_dup_acks(self):
+        out = chaos_tcp_transfer(
+            "fast", seed=29, nbytes=24_000,
+            knobs=dict(duplicate=0.2, reorder=0.15),
+        )
+        assert out["ledger"].get("duplicate", 0) > 0
+        assert out["ledger"].get("reorder", 0) > 0
+        assert sum(out["dup_acks_rcvd"]) > 0
+
+    def test_impairment_window_gates_injection(self):
+        """start_us/stop_us windows key off the deterministic clock."""
+        tb = make_an2_pair()
+        plane = tb.attach_fault_plane(seed=1)
+        imp = plane.impair_link(tb.link, drop=1.0, stop_us=0.0)
+        ep = tb.server_kernel.create_endpoint_an2(
+            tb.server_nic, CLIENT_TO_SERVER_VCI
+        )
+        for _ in range(4):
+            tb.client_nic.transmit(Frame(b"x" * 64,
+                                         vci=CLIENT_TO_SERVER_VCI))
+        tb.run()
+        # the window closed at t=0: every frame passed untouched
+        assert plane.ledger() == {}
+        assert imp.seen == 4
+        assert len(ep.ring) == 4
+
+
+class TestNicStress:
+    def test_exhaustion_drops_and_counts(self):
+        """Injected rx-ring exhaustion drops-and-counts (backpressure
+        telemetry) while the rest of the stream stays live."""
+        tb = make_an2_pair()
+        plane = tb.attach_fault_plane(seed=4)
+        stress = plane.stress_nic(tb.server_nic, exhaust=0.5)
+        ep = tb.server_kernel.create_endpoint_an2(
+            tb.server_nic, CLIENT_TO_SERVER_VCI
+        )
+        nsent = 8
+        for _ in range(nsent):
+            tb.client_nic.transmit(Frame(b"y" * 128,
+                                         vci=CLIENT_TO_SERVER_VCI))
+        tb.run()
+        dropped = plane.total("nic_exhaust")
+        assert 0 < dropped < nsent, "stress should drop some, not all"
+        assert tb.server_nic.rx_dropped == dropped
+        assert tb.server_nic.drop_reasons == {"stress_exhaust": dropped}
+        assert len(ep.ring) == nsent - dropped
+        assert stress.seen == nsent
+
+    def test_truncated_dma_does_not_wedge_udp(self):
+        """Truncated frames surface as malformed-and-dropped; intact
+        datagrams keep flowing."""
+        tb = make_an2_pair()
+        cstack = NetStack(tb.client_kernel, tb.client_nic, "10.0.0.1",
+                          an2_peers={"10.0.0.2": (1, 2)})
+        sstack = NetStack(tb.server_kernel, tb.server_nic, "10.0.0.2",
+                          an2_peers={"10.0.0.1": (2, 1)})
+        csock = UdpSocket(cstack, 7001, rx_vci=2)
+        ssock = UdpSocket(sstack, 7000, rx_vci=1)
+        plane = tb.attach_fault_plane(seed=9)
+        plane.stress_nic(tb.server_nic, truncate=0.5, truncate_to=12)
+        nsent = 10
+        received = []
+
+        def server(proc):
+            while True:
+                dg = yield from ssock.recvfrom(proc)
+                received.append(dg.payload)
+
+        def client(proc):
+            from repro.net.headers import ip_aton
+
+            for i in range(nsent):
+                yield from csock.sendto(
+                    proc, bytes([i]) * 64, ip_aton("10.0.0.2"), 7000
+                )
+                yield from proc.compute_us(500.0)
+
+        tb.server_kernel.spawn_process("server", server)
+        tb.client_kernel.spawn_process("client", client)
+        tb.run(max_virtual_s=1.0)
+        truncated = plane.total("nic_truncate")
+        assert 0 < truncated < nsent
+        assert ssock.malformed == truncated
+        assert len(received) == nsent - truncated
+        for payload in received:
+            assert len(payload) == 64 and len(set(payload)) == 1
+
+
+class TestAshAbort:
+    def setup_increment(self, tb):
+        """Bind remote_increment both as the ASH and as the upcall, over
+        one shared counter, so a degraded delivery is indistinguishable
+        in outcome from a consumed one."""
+        mem = tb.server.memory
+        state = mem.alloc("ustate", 64)
+        mem.store_u32(state.base + 0, state.base + 48)   # counter addr
+        mem.store_u32(state.base + 4, SERVER_TO_CLIENT_VCI)
+        mem.store_u32(state.base + 8, state.base + 56)   # scratch
+        ep = tb.server_kernel.create_endpoint_an2(
+            tb.server_nic, CLIENT_TO_SERVER_VCI
+        )
+        ash_id = tb.server_kernel.ash_system.download(
+            build_remote_increment(), [(state.base, 64)],
+            user_word=state.base,
+        )
+        tb.server_kernel.ash_system.bind(ep, ash_id)
+        ep.upcall = UpcallHandler(
+            program=build_remote_increment(), user_word=state.base,
+        )
+        return ep, ash_id, state.base + 48
+
+    def test_mid_handler_abort_falls_back_to_upcall_zero_loss(self):
+        """The acceptance bar: a forced mid-handler abort degrades to
+        the upcall path and the message is not lost — the counter sees
+        every value and every message is answered."""
+        tb = make_an2_pair()
+        ep, ash_id, counter = self.setup_increment(tb)
+        cli_ep = tb.client_kernel.create_endpoint_an2(
+            tb.client_nic, SERVER_TO_CLIENT_VCI
+        )
+        plane = tb.attach_fault_plane(seed=2)
+        injector = plane.abort_ash(tb.server_kernel, every=2)
+        values = [1, 2, 3, 4, 5, 6]
+        for v in values:
+            tb.client_nic.transmit(
+                Frame(v.to_bytes(4, "little"), vci=CLIENT_TO_SERVER_VCI)
+            )
+        tb.run()
+        entry = tb.server_kernel.ash_system.entry(ash_id)
+        assert injector.fired >= 2, "the injector never fired"
+        assert entry.involuntary_aborts == injector.fired
+        assert plane.total("ash_abort") == injector.fired
+        # zero loss: every message incremented the counter exactly once
+        # (via the ASH or, after an abort, via the upcall fallback) ...
+        assert tb.server.memory.load_u32(counter) == sum(values)
+        # ... and every message produced exactly one reply
+        assert len(cli_ep.ring) == len(values)
+        assert ep.upcall.invocations == injector.fired
+        assert tb.server_kernel.ash_abort_fallbacks == injector.fired
+
+    def test_abort_schedule_identical_across_substrates(self):
+        """Forced aborts burn cycles; the cycle accounting (and thus
+        virtual time) must stay bit-identical across substrates."""
+        outcomes = {}
+        for substrate in ("fast", "legacy"):
+            tb = make_an2_pair(engine=Engine(substrate=substrate))
+            ep, ash_id, counter = self.setup_increment(tb)
+            plane = tb.attach_fault_plane(seed=6)
+            plane.abort_ash(tb.server_kernel, rate=0.5)
+            for v in range(1, 5):
+                tb.client_nic.transmit(
+                    Frame(v.to_bytes(4, "little"),
+                          vci=CLIENT_TO_SERVER_VCI)
+                )
+            tb.run()
+            entry = tb.server_kernel.ash_system.entry(ash_id)
+            outcomes[substrate] = (
+                tb.engine.now,
+                plane.ledger(),
+                entry.involuntary_aborts,
+                tb.server.memory.load_u32(counter),
+            )
+        assert outcomes["fast"] == outcomes["legacy"]
+        assert outcomes["fast"][3] == 10  # zero loss on both
+
+
+def test_scenario_script_installs_all_sites():
+    """apply_scenario: declarative multi-seam schedules as plain data."""
+    tb = make_an2_pair()
+    plane = tb.attach_fault_plane(seed=5)
+    installed = plane.apply_scenario([
+        {"site": "link", "target": tb.link, "drop": 0.1, "skip_first": 3},
+        {"site": "nic", "target": tb.server_nic, "exhaust": 0.2},
+        {"site": "ash", "target": tb.server_kernel, "every": 3},
+    ])
+    assert len(installed) == 3
+    assert tb.link.impairment is installed[0]
+    assert tb.server_nic.stress is installed[1]
+    assert tb.server_kernel.ash_system.fault_injector is installed[2]
+    with pytest.raises(Exception):
+        plane.apply_scenario([{"site": "nope", "target": tb.link}])

@@ -1,4 +1,11 @@
-"""Randomized loss/reorder testing of TCP (seeded, deterministic)."""
+"""Randomized loss/reorder testing of TCP (seeded, deterministic).
+
+Loss is injected through the FaultPlane link seam
+(:meth:`repro.sim.faults.FaultPlane.impair_link`) rather than by
+monkeypatching ``link.send`` — the drop schedule is a pure function of
+the plane seed and the frame sequence, so every seed reproduces its
+loss pattern exactly.
+"""
 
 import random
 
@@ -7,6 +14,10 @@ import pytest
 from repro.bench.testbed import make_an2_pair
 from repro.net.socket_api import make_stacks, tcp_pair
 
+#: long enough to answer retransmissions arriving at the fully
+#: backed-off cadence (MAX_RTO_BACKOFF * rto_us) several times over
+LINGER_US = 2_000_000.0
+
 
 def run_lossy_transfer(seed: int, loss_rate: float, nbytes: int,
                        use_ash: bool = False) -> bytes:
@@ -14,20 +25,10 @@ def run_lossy_transfer(seed: int, loss_rate: float, nbytes: int,
     tb = make_an2_pair()
     cstack, sstack = make_stacks(tb)
     client, server = tcp_pair(cstack, sstack, rto_us=20_000.0)
-    rng = random.Random(seed)
-    original = tb.link.send
-    state = {"sent": 0, "dropped": 0}
-
-    def lossy(end, frame):
-        state["sent"] += 1
-        # keep the handshake reliable so sessions always establish
-        if state["sent"] > 3 and rng.random() < loss_rate:
-            state["dropped"] += 1
-            return 0
-        return original(end, frame)
-
-    tb.link.send = lossy
-    data = bytes(rng.randrange(256) for _ in range(nbytes))
+    plane = tb.attach_fault_plane(seed=seed)
+    # keep the handshake reliable so sessions always establish
+    plane.impair_link(tb.link, drop=loss_rate, skip_first=3)
+    data = bytes(random.Random(seed).randrange(256) for _ in range(nbytes))
     got = []
 
     def server_body(proc):
@@ -43,19 +44,19 @@ def run_lossy_transfer(seed: int, loss_rate: float, nbytes: int,
         reply = yield from client.read(proc, 4)
         assert reply == b"done"
         # the reply's ack may have been lost: answer retransmissions
-        yield from client.linger(proc)
+        yield from client.linger(proc, duration_us=LINGER_US)
 
     tb.server_kernel.spawn_process("server", server_body)
     tb.client_kernel.spawn_process("client", client_body)
     tb.run()
-    assert state["dropped"] > 0, "loss pattern never fired"
+    assert plane.total("drop") > 0, "loss pattern never fired"
     assert got and got[0] == data
     return got[0]
 
 
 @pytest.mark.parametrize("seed", [1, 7, 42, 1337])
 def test_library_path_survives_random_loss(seed):
-    run_lossy_transfer(seed=seed, loss_rate=0.08, nbytes=12_000)
+    run_lossy_transfer(seed=seed, loss_rate=0.08, nbytes=48_000)
 
 
 @pytest.mark.parametrize("seed", [1, 3])
@@ -63,9 +64,9 @@ def test_fastpath_survives_random_loss(seed):
     """Loss makes the ASH header-prediction miss (out-of-order seq):
     those segments fall back to the library, which must interleave
     correctly with kernel-handled ones."""
-    run_lossy_transfer(seed=seed, loss_rate=0.06, nbytes=10_000,
+    run_lossy_transfer(seed=seed, loss_rate=0.06, nbytes=40_000,
                        use_ash=True)
 
 
 def test_heavy_loss_eventually_completes():
-    run_lossy_transfer(seed=5, loss_rate=0.2, nbytes=4_000)
+    run_lossy_transfer(seed=5, loss_rate=0.2, nbytes=16_000)
