@@ -57,6 +57,17 @@ WELL_KNOWN_KINDS = {
     # fault-injection plane (sim/faults.py) and recovery counters
     "faults.injected": "counters",
     "faults.ledger": "gauges",
+    # crash/restart recovery plane (kernel/kernel.py crash()/reboot())
+    "crash.crashes": "counters",
+    "crash.recoveries": "counters",
+    "crash.lost_messages": "counters",
+    "crash.filters_reinstalled": "counters",
+    "crash.ash_reinstalls": "counters",
+    # memory-pressure and CPU-contention seams (hw/memory.py, hw/cpu.py)
+    "mem.alloc_failures": "counters",
+    "cpu.contention_cycles": "counters",
+    # delivery-hierarchy invariant (kernel/kernel.py _note_delivery)
+    "degradation.order_violations": "counters",
     "tcp.checksum_failures": "counters",
     "tcp.retransmits": "counters",
     "tcp.fast_retransmits": "counters",

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, Optional, TYPE_CHECKING
 
-from ..errors import SandboxViolation, VcodeError, VmFault
+from ..errors import AllocationError, SandboxViolation, VcodeError, VmFault
 from ..hw.calibration import PRIO_INTERRUPT
 from ..hw.nic.ethernet import striped_size
 from ..pipes.compiler import IntegratedPipeline
@@ -110,6 +110,15 @@ class AshSystem:
         self._ilps: dict[int, IntegratedPipeline] = {}
         self._next_ash = 1
         self._next_ilp = 1
+        #: durable half of each download: the pre-sandbox source and its
+        #: policy, i.e. what the *application* holds.  A kernel reboot
+        #: re-verifies and re-downloads from here — the installed
+        #: (sandboxed) code and persistent registers are kernel-volatile
+        self._boot_records: dict[int, dict] = {}
+        self._saved_ilps: dict[int, IntegratedPipeline] = {}
+        #: handler installs refused/re-installs failed under injected
+        #: memory pressure
+        self.install_failures = 0
         #: fault-injection seam: a FaultPlane installs an
         #: AshAbortInjector here (see repro.sim.faults); when it fires,
         #: the invocation runs under a forced (tiny) cycle budget
@@ -130,7 +139,52 @@ class AshSystem:
         baseline for measuring sandboxing overhead ("we report
         experimental results both with and without the cost of
         sandboxing").  Unsafe handlers still run under the abort timer.
+
+        Installing a handler allocates kernel memory for its rewritten
+        code; under injected memory pressure (the ``ash_install`` site)
+        the download is refused with
+        :class:`~repro.errors.AllocationError` and the caller must
+        degrade (e.g. fall back to an upcall handler).
         """
+        if self.kernel.node.memory.pressure_gate("ash_install"):
+            self.install_failures += 1
+            raise AllocationError("ash_install", program.name)
+        source = program  # pre-sandbox: the durable, re-verifiable form
+        ash_id = self._next_ash
+        self._next_ash += 1
+        entry = self._build_entry(
+            ash_id, program, allowed_regions, user_word, policy, sandbox
+        )
+        self._entries[ash_id] = entry
+        self._boot_records[ash_id] = {
+            "program": source,
+            "allowed": (list(allowed_regions)
+                        if allowed_regions is not None else None),
+            "user_word": user_word,
+            "policy": policy,
+            "sandbox": sandbox,
+        }
+        tel = self.kernel.node.telemetry
+        if tel.enabled:
+            tel.counter("ash.downloads").inc()
+            if entry.report is not None:
+                tel.gauge("ash.sandbox_added_insns",
+                          handler=entry.program.name).set(
+                              entry.report.added_insns)
+        return ash_id
+
+    def _build_entry(
+        self,
+        ash_id: int,
+        program: Program,
+        allowed_regions: Optional[list[tuple[int, int]]],
+        user_word: int,
+        policy: Optional[SandboxPolicy],
+        sandbox: bool,
+    ) -> AshEntry:
+        """The verify + sandbox pipeline shared by first download and
+        post-crash re-install (identical checks both times: a reboot
+        must not weaken the safety argument)."""
         budget = policy.budget if policy is not None else BudgetPolicy.TIMER
         static_bound = None
         if budget is BudgetPolicy.STATIC_ESTIMATE:
@@ -152,12 +206,11 @@ class AshSystem:
         if sandbox:
             sandboxer = Sandboxer(policy) if policy is not None else self.sandboxer
             program, report = sandboxer.sandbox(program)
-        ash_id = self._next_ash
-        self._next_ash += 1
-        self._entries[ash_id] = AshEntry(
+        return AshEntry(
             ash_id=ash_id,
             program=program,
-            allowed=list(allowed_regions) if allowed_regions is not None else None,
+            allowed=(list(allowed_regions)
+                     if allowed_regions is not None else None),
             user_word=user_word,
             report=report,
             sandboxed=sandbox,
@@ -165,21 +218,57 @@ class AshSystem:
             static_bound=static_bound,
             account=BudgetAccount(budget=budget_cycles(self.cal)),
         )
-        tel = self.kernel.node.telemetry
-        if tel.enabled:
-            tel.counter("ash.downloads").inc()
-            if report is not None:
-                tel.gauge("ash.sandbox_added_insns",
-                          handler=program.name).set(report.added_insns)
-        return ash_id
 
     def entry(self, ash_id: int) -> AshEntry:
         if ash_id not in self._entries:
             raise VcodeError(f"no ASH with id {ash_id}")
         return self._entries[ash_id]
 
+    def has(self, ash_id: int) -> bool:
+        return ash_id in self._entries
+
     def remove(self, ash_id: int) -> None:
         self._entries.pop(ash_id, None)
+        self._boot_records.pop(ash_id, None)
+
+    # -- crash / restart -----------------------------------------------------
+    def crash(self) -> None:
+        """Kernel-volatile teardown: installed (sandboxed) handlers,
+        their persistent registers, and the compiled pipe-list registry
+        all die with the kernel.  The boot records — pre-sandbox source
+        and policy, what the application holds — survive, as do the
+        pipe-list *sources* (modelled by stashing the compiled forms for
+        deterministic re-registration at reboot under the same ids)."""
+        self._entries.clear()
+        self._saved_ilps = dict(self._ilps)
+        self._ilps.clear()
+
+    def reboot(self) -> tuple[set[int], int]:
+        """Re-verify and re-download every recorded handler through the
+        sandbox, keeping ids stable (endpoints re-bind by id); returns
+        ``(reinstalled ids, install failures)``.  A re-install refused
+        under memory pressure leaves that handler out — its endpoint
+        comes back degraded to the upcall path."""
+        self._ilps.update(self._saved_ilps)
+        self._saved_ilps = {}
+        reinstalled: set[int] = set()
+        failures = 0
+        memory = self.kernel.node.memory
+        tel = self.kernel.node.telemetry
+        for ash_id in sorted(self._boot_records):
+            boot = self._boot_records[ash_id]
+            if memory.pressure_gate("ash_install"):
+                self.install_failures += 1
+                failures += 1
+                continue
+            self._entries[ash_id] = self._build_entry(
+                ash_id, boot["program"], boot["allowed"],
+                boot["user_word"], boot["policy"], boot["sandbox"],
+            )
+            reinstalled.add(ash_id)
+            if tel.enabled:
+                tel.counter("ash.downloads").inc()
+        return reinstalled, failures
 
     # -- DILP registry ------------------------------------------------------
     def register_ilp(self, pipeline: IntegratedPipeline) -> int:
@@ -230,6 +319,10 @@ class AshSystem:
         if uses_timer:
             invoke_us += cal.ash_timer_setup_us
         yield from cpu.exec_us(invoke_us, PRIO_INTERRUPT)
+        if kernel.crashed:
+            # crash landed during sandbox entry: the entry table (and
+            # every registered pipe list) is gone — do not run
+            return False
         if span is not None:
             span.stage("sandbox_entry", kernel.engine.now)
         if tel.enabled:
@@ -252,6 +345,15 @@ class AshSystem:
             forced = injector.consider()
             if forced is not None:
                 budget = forced
+        # the abort timer is wall-clock: a contention burst landing
+        # inside the handler's window eats its cycle budget, possibly
+        # down to a forced involuntary abort (which then degrades in
+        # order through the delivery hierarchy, zero-loss)
+        contention = cpu.contention
+        if contention is not None and uses_timer:
+            penalty = contention.budget_penalty()
+            if penalty:
+                budget = max(1, budget - penalty)
         try:
             result = vm.run(
                 entry.program,
@@ -322,4 +424,5 @@ class AshSystem:
                 for ash_id in sorted(self._entries)
             ],
             "ilps": sorted(self._ilps),
+            "install_failures": self.install_failures,
         }

@@ -65,6 +65,24 @@ class AshAbort(ReproError):
     """A *voluntary* abort requested by the handler's own protocol code."""
 
 
+class AllocationError(ReproError):
+    """An allocation refused under injected memory pressure.
+
+    Raised (instead of :class:`MemoryError`, which remains the genuine
+    out-of-physical-memory condition) when a
+    :class:`~repro.sim.faults.MemPressure` injector forces ``mem.alloc``
+    to fail.  Every allocating call site on the receive path catches it
+    and degrades gracefully — the condition is recoverable by design.
+    """
+
+    def __init__(self, site: str, name: str = ""):
+        super().__init__(
+            f"allocation refused under memory pressure "
+            f"(site={site!r}{', ' + name if name else ''})"
+        )
+        self.site = site
+
+
 class DemuxError(ReproError):
     """Packet-filter or VCI demultiplexing failure."""
 

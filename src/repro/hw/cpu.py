@@ -35,6 +35,13 @@ class Cpu:
         self.lock = PriorityLock(engine, f"{name}.lock")
         self.busy_ticks = 0            # total held-and-computing time
         self.cycles_charged = 0
+        #: fault-injection seam: a FaultPlane installs a CpuContention
+        #: injector here (see repro.sim.faults); None = no one else is
+        #: competing for the processor
+        self.contention = None
+        #: cycles stolen by injected contention bursts (foreign work:
+        #: held the CPU but advanced nobody's charge)
+        self.contention_cycles = 0
 
     # -- core execution primitive -----------------------------------------
     def exec(
@@ -61,6 +68,14 @@ class Cpu:
         waiters = lock._waiters
         yield lock.acquire(prio)
         try:
+            injector = self.contention
+            if injector is not None:
+                stolen = injector.steal()
+                if stolen:
+                    # foreign work holds the CPU first: wall-clock
+                    # stretches, but none of it counts toward ``cycles``
+                    yield Timeout(engine, stolen * CYCLE_PS)
+                    self.contention_cycles += stolen
             remaining = cycles
             while remaining > 0:
                 slice_cycles = remaining if remaining < quantum else quantum

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import MemoryFault
+from ..errors import AllocationError, MemoryFault
 
 __all__ = ["Region", "PhysicalMemory"]
 
@@ -50,10 +50,37 @@ class PhysicalMemory:
         self._mv = memoryview(self.data)
         self._brk = _ALIGN  # keep address 0 unmapped: it makes bugs loud
         self.regions: dict[str, Region] = {}
+        #: fault-injection seam: a FaultPlane installs a MemPressure
+        #: injector here (see repro.sim.faults); None = allocations
+        #: always succeed while physical memory lasts
+        self.pressure = None
+        #: injected allocation failures observed, by site
+        self.alloc_failures: dict[str, int] = {}
 
     # -- allocation -------------------------------------------------------
-    def alloc(self, name: str, size: int, align: int = _ALIGN) -> Region:
-        """Carve a new region; names must be unique per node."""
+    def pressure_gate(self, site: str) -> bool:
+        """One allocation attempt at ``site``; True when injected memory
+        pressure refuses it.  Call sites that allocate without going
+        through :meth:`alloc` (packet-buffer wrappers, rx-ring refills)
+        consult this gate directly and degrade on refusal."""
+        injector = self.pressure
+        if injector is None or not injector.should_fail(site):
+            return False
+        self.alloc_failures[site] = self.alloc_failures.get(site, 0) + 1
+        return True
+
+    def alloc(self, name: str, size: int, align: int = _ALIGN,
+              site: str | None = None) -> Region:
+        """Carve a new region; names must be unique per node.
+
+        ``site`` labels the allocating call site for the fault plane's
+        memory-pressure seam; a gated site raises
+        :class:`~repro.errors.AllocationError` (counted under
+        ``mem.alloc_failures{site}``) which the caller must degrade on.
+        Genuine exhaustion still raises :class:`MemoryError`.
+        """
+        if site is not None and self.pressure_gate(site):
+            raise AllocationError(site, name)
         if name in self.regions:
             raise ValueError(f"region {name!r} already allocated")
         if size <= 0:

@@ -37,6 +37,9 @@ class VcBinding:
     vci: int
     buffers: deque          #: free (addr, size) pairs, FIFO
     owner: object = None    #: opaque owner tag (the binding process)
+    #: refills refused under injected memory pressure, parked until the
+    #: next successful replenish flushes them (no buffer is ever lost)
+    deferred: list = None
 
     def replenish(self, addr: int, size: int) -> None:
         self.buffers.append((addr, size))
@@ -81,7 +84,20 @@ class An2Nic(Nic):
         binding = self._bindings.get(vci)
         if binding is None:
             raise DemuxError(f"VCI {vci} not bound on {self.name}")
+        if self.memory.pressure_gate("rx_refill"):
+            # degradation, not loss: the refused refill is parked and
+            # flushed by the next successful one — meanwhile the ring is
+            # one buffer shorter, so sustained pressure shows up as
+            # ``no_buffer`` drops, never as a vanished buffer
+            if binding.deferred is None:
+                binding.deferred = []
+            binding.deferred.append((addr, size))
+            return
         binding.replenish(addr, size)
+        if binding.deferred:
+            for pair in binding.deferred:
+                binding.replenish(*pair)
+            binding.deferred = None
 
     # -- DMA ----------------------------------------------------------------
     def _dma(self, frame: Frame) -> Optional[RxDescriptor]:

@@ -155,6 +155,10 @@ class Nic:
         self.rx_frames = 0
         self.tx_frames = 0
         self.rx_dropped = 0
+        self.tx_dropped = 0
+        #: True while the owning node is crashed: the device neither
+        #: receives (frames drop as ``node_down``) nor transmits
+        self.down = False
         #: why frames were dropped, by reason (backpressure telemetry)
         self.drop_reasons: dict[str, int] = {}
         #: fault-injection seam: a FaultPlane installs a NicStress here
@@ -173,6 +177,11 @@ class Nic:
         """Hand a frame to the DMA engine (no CPU charge here)."""
         if self.link is None:
             raise RuntimeError(f"{self.name}: not attached to a link")
+        if self.down:
+            self.tx_dropped += 1
+            self.drop_reasons["node_down_tx"] = \
+                self.drop_reasons.get("node_down_tx", 0) + 1
+            return
         self.tx_frames += 1
         tel = self.telemetry
         if tel is not None and tel.enabled:
@@ -190,6 +199,9 @@ class Nic:
             tel.counter("nic.rx_dropped", nic=self.name, reason=reason).inc()
 
     def _on_wire_frame(self, frame: Frame) -> None:
+        if self.down:
+            self._count_drop("node_down")
+            return
         stress = self.stress
         if stress is not None:
             frame = stress.on_rx(frame)
@@ -203,7 +215,10 @@ class Nic:
             self._count_drop(self._drop_reason)
             return
         self.rx_frames += 1
-        if self.pktpool is not None:
+        if self.pktpool is not None \
+                and not self.memory.pressure_gate("pktbuf"):
+            # a refused wrapper allocation degrades to the legacy bytes
+            # path (desc.buf stays None, which every consumer handles)
             desc.buf = self.pktpool.acquire(desc.addr, desc.dma_span or desc.length)
         if tel is not None and tel.enabled:
             tel.counter("nic.rx_frames", nic=self.name).inc()

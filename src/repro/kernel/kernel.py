@@ -62,6 +62,9 @@ class Endpoint:
     buf_size: int = 4096
     #: Ethernet only: kernel-side buffers messages are copied into
     kbufs: list[int] = field(default_factory=list)
+    #: Ethernet only: the DPF predicates, kept so a reboot can re-insert
+    #: the filter (the compiled filter itself is kernel-volatile)
+    predicates: Optional[list] = None
     rx_count: int = 0
     # receive-livelock guard state (Section VI-4)
     ash_window_start: int = 0
@@ -100,6 +103,26 @@ class Kernel(SyscallInterface):
         #: messages whose ASH aborted involuntarily and which then
         #: degraded to the upcall/normal path (zero-loss recovery)
         self.ash_abort_fallbacks = 0
+        # -- crash/restart recovery state ---------------------------------
+        #: True between crash() and reboot(): all kernel-volatile state
+        #: is gone; application memory (incl. SharedTcb regions) survives
+        self.crashed = False
+        self.crash_count = 0
+        self.recoveries = 0
+        #: notifications that died with the kernel (pending in rx rings
+        #: or in-flight at crash time) — never silent, always counted
+        self.lost_messages = 0
+        #: one record per crash: {crash_at, reboot_at,
+        #: first_delivery_after_reboot, lost_messages,
+        #: filters_reinstalled, ash_reinstalls, ash_reinstall_failures}
+        self.crash_log: list[dict] = []
+        self._boot_records: list[dict] = []
+        self._await_first_delivery = False
+        # -- degradation-order invariant ----------------------------------
+        #: messages whose delivery skipped a hierarchy level without a
+        #: legitimate reason (must stay 0: ash → upcall → ring → drop)
+        self.degradation_order_violations = 0
+        self.delivery_outcomes: dict[str, int] = {}
         # telemetry: instruments are created once here; each op on them
         # is a no-op branch while the node's hub is disabled
         tel = node.telemetry
@@ -168,10 +191,166 @@ class Kernel(SyscallInterface):
             name=name, nic=nic, filter_id=fid, owner=owner,
             ring=Channel(self.engine, f"{name}.ring"), buf_size=buf_size,
             kbufs=[region.base + i * buf_size for i in range(nkbufs)],
+            predicates=list(predicates),
         )
         self.endpoints.append(ep)
         self._by_filter[fid] = ep
         return ep
+
+    # -- crash / restart -----------------------------------------------------
+    def crash(self) -> None:
+        """Tear down every piece of kernel-volatile state, mid-flow.
+
+        The exokernel split: application memory — receive buffers,
+        protocol state, the TCP ``SharedTcb`` region — is the durable
+        truth and survives untouched; what dies is everything the kernel
+        built around it (compiled DPF filters, downloaded ASHs, upcall
+        and VCI bindings, pending ring notifications).  Each endpoint
+        leaves a *boot record* behind so :meth:`reboot` can rebuild the
+        kernel around the surviving application state.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_count += 1
+        rec = {
+            "crash_at": self.engine.now,
+            "reboot_at": None,
+            "first_delivery_after_reboot": None,
+            "lost_messages": 0,
+            "filters_reinstalled": 0,
+            "ash_reinstalls": 0,
+            "ash_reinstall_failures": 0,
+        }
+        self.crash_log.append(rec)
+        for nic in self.node.nics.values():
+            nic.down = True
+        self._boot_records = []
+        for ep in self.endpoints:
+            boot = {
+                "ep": ep,
+                "ash_id": ep.ash_id,
+                "upcall": ep.upcall,
+                "kernel_handler": ep.kernel_handler,
+            }
+            # pending, undelivered notifications die with the kernel;
+            # they are counted (never silent) and their buffers are
+            # reclaimed into the rebind set
+            reclaimed: list[tuple[int, int]] = []
+            while True:
+                ok, desc = ep.ring.try_get()
+                if not ok:
+                    break
+                if not isinstance(desc, RxDescriptor):
+                    continue  # a pending wakeup notification: benign
+                rec["lost_messages"] += 1
+                self.lost_messages += 1
+                if desc.buf is not None:
+                    desc.buf.release()
+                if isinstance(desc.nic, An2Nic):
+                    reclaimed.append((desc.addr, self.cal.an2_max_packet))
+                elif isinstance(desc.nic, EthernetNic):
+                    if desc.meta.get("kbuf"):
+                        ep.kbufs.append(desc.addr)
+                    else:
+                        desc.nic.return_slot(desc.addr)
+                self._finish_span(desc, "crash_lost")
+            if ep.vci is not None:
+                binding = ep.nic.binding(ep.vci)
+                bufs: list[tuple[int, int]] = []
+                if binding is not None:
+                    bufs.extend(binding.buffers)
+                    if binding.deferred:
+                        bufs.extend(binding.deferred)
+                bufs.extend(reclaimed)
+                # buffers the application holds at crash time come back
+                # later through its ordinary sys_replenish calls
+                boot["an2_buffers"] = bufs
+                ep.nic.unbind_vci(ep.vci)
+            if ep.filter_id is not None:
+                boot["predicates"] = ep.predicates
+                ep.filter_id = None
+            ep.clear_handlers()
+            ep.ash_window_start = 0
+            ep.ash_window_count = 0
+            self._boot_records.append(boot)
+        self._by_filter.clear()
+        # the packet-filter engine is rebuilt from scratch at reboot
+        self.dpf = DpfEngine(self.cal, telemetry=self.node.telemetry)
+        self.ash_system.crash()
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter("crash.crashes").inc()
+            if rec["lost_messages"]:
+                tel.counter("crash.lost_messages").inc(rec["lost_messages"])
+        self.node.trace("kernel.crash", f"lost={rec['lost_messages']}")
+
+    def reboot(self) -> None:
+        """Rebuild the kernel from boot records + surviving app memory.
+
+        Filters are re-inserted (fresh ids), ASHs re-verified and
+        re-downloaded through the sandbox (an install refused under
+        memory pressure leaves that endpoint degraded to its upcall
+        path), VCIs rebound with the reclaimed buffer set, and the NICs
+        powered back up.  The transport then re-synchronizes from the
+        surviving ``SharedTcb`` via its ordinary retransmission
+        machinery — no protocol-special recovery code.
+        """
+        if not self.crashed:
+            return
+        rec = self.crash_log[-1]
+        reinstalled, failures = self.ash_system.reboot()
+        rec["ash_reinstalls"] = len(reinstalled)
+        rec["ash_reinstall_failures"] = failures
+        for boot in self._boot_records:
+            ep = boot["ep"]
+            if "an2_buffers" in boot:
+                ep.nic.bind_vci(ep.vci, boot["an2_buffers"], owner=ep.owner)
+            if boot.get("predicates") is not None:
+                fid = self.dpf.insert(boot["predicates"])
+                ep.filter_id = fid
+                self._by_filter[fid] = ep
+                rec["filters_reinstalled"] += 1
+            ep.kernel_handler = boot["kernel_handler"]
+            if boot["ash_id"] is not None and boot["ash_id"] in reinstalled:
+                ep.ash_id = boot["ash_id"]
+            ep.upcall = boot["upcall"]
+        for nic in self.node.nics.values():
+            nic.down = False
+        self.crashed = False
+        self.recoveries += 1
+        rec["reboot_at"] = self.engine.now
+        self._await_first_delivery = True
+        self._boot_records = []
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter("crash.recoveries").inc()
+            if rec["filters_reinstalled"]:
+                tel.counter("crash.filters_reinstalled").inc(
+                    rec["filters_reinstalled"])
+            if rec["ash_reinstalls"]:
+                tel.counter("crash.ash_reinstalls").inc(rec["ash_reinstalls"])
+        self.node.trace(
+            "kernel.reboot",
+            f"filters={rec['filters_reinstalled']} "
+            f"ashes={rec['ash_reinstalls']}",
+        )
+
+    def _drop_in_crash(self, desc: RxDescriptor) -> None:
+        """An rx interrupt raced the crash: the message dies with the
+        kernel (counted), its buffer is reclaimed for the rebind set."""
+        rec = self.crash_log[-1]
+        rec["lost_messages"] += 1
+        self.lost_messages += 1
+        if desc.buf is not None:
+            desc.buf.release()
+        if isinstance(desc.nic, An2Nic):
+            self._park_buffer(desc)
+        elif isinstance(desc.nic, EthernetNic) and not desc.meta.get("kbuf"):
+            desc.nic.return_slot(desc.addr)
+        self._finish_span(desc, "crash_lost")
+        if self.telemetry.enabled:
+            self.telemetry.counter("crash.lost_messages").inc()
 
     # -- transmit ----------------------------------------------------------
     def kernel_send(self, nic: Nic, frame: Frame) -> Generator:
@@ -192,6 +371,9 @@ class Kernel(SyscallInterface):
         self.engine.spawn(self._rx_interrupt(desc), name="rx-intr")
 
     def _rx_interrupt(self, desc: RxDescriptor) -> Generator:
+        if self.crashed:
+            self._drop_in_crash(desc)
+            return
         cpu = self.node.cpu
         cal = self.cal
         self.rx_interrupts += 1
@@ -229,7 +411,18 @@ class Kernel(SyscallInterface):
         cal = self.cal
         span = desc.meta.get("span")
         self._active_span = span
+        # why each hierarchy level above the final outcome was skipped;
+        # a level skipped with no entry here is an order violation
+        skips: dict[str, str] = {}
         try:
+            # A crash can land while this delivery is suspended at any
+            # yield below.  Work a handler *committed* before the crash
+            # stands (its state updates are in application memory); an
+            # unconsumed message dies with the kernel — counted, never
+            # silently re-routed through torn-down state.
+            if self.crashed:
+                self._drop_in_crash(desc)
+                return
             if ep.kernel_handler is not None:
                 consumed = yield from ep.kernel_handler(self, ep, desc)
                 if consumed:
@@ -237,38 +430,69 @@ class Kernel(SyscallInterface):
                         span.stage("kernel_handler", self.engine.now)
                     self._finish_span(desc, "kernel_handler")
                     self._recycle(desc)
+                    self._note_delivery("kernel_handler", skips)
                     return
+                if self.crashed:
+                    self._drop_in_crash(desc)
+                    return
+                skips["kernel_handler"] = "declined"
+            else:
+                skips["kernel_handler"] = "unbound"
 
-            if ep.ash_id is not None and self._ash_admission(ep):
+            if ep.ash_id is None:
+                skips["ash"] = "unbound"
+            elif not self._ash_admission(ep):
+                skips["ash"] = "livelock_throttle"
+            else:
                 consumed = yield from self.ash_system.invoke(ep, desc)
                 if consumed:
                     self._finish_span(desc, "ash")
                     self._recycle(desc)
+                    self._note_delivery("ash", skips)
+                    return
+                if self.crashed:
+                    self._drop_in_crash(desc)
                     return
                 if desc.meta.pop("ash_aborted", False):
                     # involuntary abort: the message is NOT lost — it
                     # falls through to the upcall/normal path below
                     self.ash_abort_fallbacks += 1
+                    skips["ash"] = "involuntary_abort"
                     if self.telemetry.enabled:
                         self.telemetry.counter("ash.abort_fallbacks").inc()
+                else:
+                    skips["ash"] = "voluntary_pass"
 
             if ep.upcall is not None:
                 consumed = yield from self.upcalls.dispatch(ep, ep.upcall, desc)
                 if consumed:
                     self._finish_span(desc, "upcall")
                     self._recycle(desc)
+                    self._note_delivery("upcall", skips)
                     return
+                if self.crashed:
+                    self._drop_in_crash(desc)
+                    return
+                skips["upcall"] = "declined"
+            else:
+                skips["upcall"] = "unbound"
 
             # -- normal path ------------------------------------------------
             if isinstance(desc.nic, EthernetNic):
                 # The device ring is scarce: copy out now, then return the slot.
                 if not ep.kbufs:
+                    skips["ring"] = "no_kbuf"
                     self._finish_span(desc, "no_kbuf_drop")
                     self._recycle(desc)  # no kernel buffer: drop
+                    self._note_delivery("drop", skips)
                     return
                 kbuf = ep.kbufs.pop(0)
                 cycles = self._eth_copy_out(desc, kbuf)
                 yield from cpu.exec(cycles, PRIO_INTERRUPT)
+                if self.crashed:
+                    ep.kbufs.insert(0, kbuf)
+                    self._drop_in_crash(desc)
+                    return
                 if span is not None:
                     span.stage("copy", self.engine.now)
                 tel = self.telemetry
@@ -289,6 +513,7 @@ class Kernel(SyscallInterface):
             if span is not None:
                 span.stage("ring_enqueue", self.engine.now)
             ep.ring.put(desc)
+            self._note_delivery("ring", skips)
             if ep.owner is not None:
                 sched = self.scheduler
                 if sched.boost_on_packet and sched.current is not ep.owner:
@@ -299,6 +524,30 @@ class Kernel(SyscallInterface):
                 sched.on_packet(ep.owner)
         finally:
             self._active_span = None
+
+    #: the Section-V delivery hierarchy, best first — under combined
+    #: faults service must degrade strictly down this list, never skip
+    _DELIVERY_ORDER = ("kernel_handler", "ash", "upcall", "ring", "drop")
+
+    def _note_delivery(self, outcome: str, skips: dict[str, str]) -> None:
+        """Record one message's final delivery path and check the
+        degradation-order invariant: every hierarchy level above the
+        outcome must have a *legitimate* skip reason (unbound handler,
+        livelock throttle, involuntary/voluntary abort, declined upcall,
+        kbuf exhaustion) — anything else is a reordering bug."""
+        self.delivery_outcomes[outcome] = \
+            self.delivery_outcomes.get(outcome, 0) + 1
+        for level in self._DELIVERY_ORDER[
+                :self._DELIVERY_ORDER.index(outcome)]:
+            if level not in skips:
+                self.degradation_order_violations += 1
+                if self.telemetry.enabled:
+                    self.telemetry.counter(
+                        "degradation.order_violations",
+                        outcome=outcome, skipped=level).inc()
+        if self._await_first_delivery and outcome != "drop":
+            self._await_first_delivery = False
+            self.crash_log[-1]["first_delivery_after_reboot"] = self.engine.now
 
     def _finish_span(self, desc: RxDescriptor, outcome: str) -> None:
         span = desc.meta.get("span")
@@ -353,11 +602,27 @@ class Kernel(SyscallInterface):
             cycles += 4 * (desc.length % 4)
         return cycles
 
+    def _park_buffer(self, desc: RxDescriptor) -> bool:
+        """During an outage an application-returned AN2 buffer joins
+        the rebind set (its VCI is unbound until reboot)."""
+        if not self.crashed:
+            return False
+        for boot in self._boot_records:
+            ep = boot["ep"]
+            if ep.nic is desc.nic and ep.vci == desc.vci \
+                    and "an2_buffers" in boot:
+                boot["an2_buffers"].append(
+                    (desc.addr, self.cal.an2_max_packet))
+                return True
+        return False
+
     def _recycle(self, desc: RxDescriptor) -> None:
         """Return the receive buffer to the hardware."""
         if desc.buf is not None:
             desc.buf.release()  # views over the slot are invalid from here
         if isinstance(desc.nic, An2Nic):
+            if self._park_buffer(desc):
+                return
             desc.nic.replenish(desc.vci, desc.addr, self.cal.an2_max_packet)
         elif isinstance(desc.nic, EthernetNic) and not desc.meta.get("kbuf"):
             desc.nic.return_slot(desc.addr)
@@ -412,6 +677,12 @@ class Kernel(SyscallInterface):
             "demux_misses": self.demux_misses,
             "ash_abort_fallbacks": self.ash_abort_fallbacks,
             "context_switches": self.scheduler.context_switches,
+            "crashes": self.crash_count,
+            "recoveries": self.recoveries,
+            "lost_messages": self.lost_messages,
+            "crash_log": [dict(rec) for rec in self.crash_log],
+            "delivery_outcomes": dict(sorted(self.delivery_outcomes.items())),
+            "degradation_order_violations": self.degradation_order_violations,
             "endpoints": [
                 {
                     "name": ep.name,

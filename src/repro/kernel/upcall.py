@@ -66,6 +66,10 @@ class UpcallManager:
         yield from cpu.exec_us(
             cal.upcall_batch_check_us + cal.upcall_dispatch_us, PRIO_INTERRUPT
         )
+        if kernel.crashed:
+            # the kernel died while we were switching address spaces:
+            # the handler (and its pipe lists) no longer exist
+            return False
         handler.invocations += 1
         if span is not None:
             span.stage("upcall", kernel.engine.now)

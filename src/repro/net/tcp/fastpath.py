@@ -35,7 +35,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ...ash.handler import AshBuilder
-from ...errors import SocketError
+from ...errors import AllocationError, SocketError
 from ...kernel.upcall import UpcallHandler
 from ...pipes import PIPE_READ, PIPE_WRITE, compile_pl, mk_cksum_pipe, pipel
 from ...vcode.isa import Program
@@ -232,8 +232,14 @@ def build_tcp_fastpath(
 
 
 def setup_fastpath(conn: "TcpConnection", kind: str = "ash",
-                   sandbox: bool = True) -> None:
-    """Wire the fast path onto an established connection."""
+                   sandbox: bool = True) -> str:
+    """Wire the fast path onto an established connection.
+
+    Returns the kind actually installed: an ASH download refused under
+    injected memory pressure degrades to the upcall variant of the same
+    handler (next level of the delivery hierarchy) instead of failing
+    the connection.
+    """
     if not conn.stack.is_an2:
         raise SocketError(
             "the TCP fast-path handler currently targets the AN2 "
@@ -287,14 +293,19 @@ def setup_fastpath(conn: "TcpConnection", kind: str = "ash",
         (conn._tmpl_region.base, conn._tmpl_region.size),
     ]
     if kind == "ash":
-        ash_id = kernel.ash_system.download(
-            program, allowed, user_word=sh.base, sandbox=sandbox
-        )
-        kernel.ash_system.bind(conn.endpoint, ash_id)
-        conn.fastpath_ash_id = ash_id
-    elif kind == "upcall":
+        try:
+            ash_id = kernel.ash_system.download(
+                program, allowed, user_word=sh.base, sandbox=sandbox
+            )
+        except AllocationError:
+            kind = "upcall"  # degrade: same handler, upcall environment
+        else:
+            kernel.ash_system.bind(conn.endpoint, ash_id)
+            conn.fastpath_ash_id = ash_id
+    if kind == "upcall":
         conn.endpoint.upcall = UpcallHandler(
             program=program, user_word=sh.base, name=f"{conn.name}.upcall"
         )
-    else:
+    elif kind != "ash":
         raise SocketError(f"unknown fast-path kind {kind!r}")
+    return kind

@@ -25,7 +25,8 @@ from typing import Optional
 from ...hw.memory import PhysicalMemory, Region
 from ...sim.queues import TimerWheel
 
-__all__ = ["TcpState", "SharedTcb", "Tcb", "seq_lt", "seq_lte", "SHARED_TCB_SIZE"]
+__all__ = ["TcpState", "SharedTcb", "Tcb", "seq_lt", "seq_lte",
+           "SHARED_TCB_SIZE", "SHARED_TCB_FIELDS"]
 
 MASK32 = 0xFFFFFFFF
 
@@ -71,12 +72,42 @@ FASTPATH_COUNT = 56
 SHARED_TCB_SIZE = 64
 
 
+#: every named u32 field of the shared block, in offset order
+SHARED_TCB_FIELDS = (
+    "lib_busy", "rcv_nxt", "snd_una", "buf_base", "buf_mask", "buf_size",
+    "write_count", "read_count", "pseudo_in_const", "pseudo_ack_const",
+    "ack_tmpl_addr", "reply_vci", "ack_seq", "ports_raw", "fastpath_count",
+)
+
+
 class SharedTcb:
     """Accessor for the memory-resident shared block."""
 
     def __init__(self, mem: PhysicalMemory, base: int):
         self.mem = mem
         self.base = base
+
+    # -- snapshot / restore ------------------------------------------------
+    # The shared block is *application-durable* state: it lives in plain
+    # memory, so it survives a kernel crash byte-for-byte, and these two
+    # give it an explicit serialization boundary — post-mortem capture
+    # on a dead flow, or migration into a fresh memory.
+    def snapshot(self) -> bytes:
+        """The full block, verbatim (``SHARED_TCB_SIZE`` bytes)."""
+        return self.mem.read(self.base, SHARED_TCB_SIZE)
+
+    def restore(self, blob: bytes) -> None:
+        """Overwrite the block with a previous :meth:`snapshot`."""
+        if len(blob) != SHARED_TCB_SIZE:
+            raise ValueError(
+                f"shared-TCB snapshot must be {SHARED_TCB_SIZE} bytes, "
+                f"got {len(blob)}"
+            )
+        self.mem.write(self.base, blob)
+
+    def fields(self) -> dict[str, int]:
+        """Field-level decode of the block (deterministic key order)."""
+        return {name: getattr(self, name) for name in SHARED_TCB_FIELDS}
 
     def _get(self, off: int) -> int:
         return self.mem.load_u32(self.base + off)

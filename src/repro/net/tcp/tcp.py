@@ -89,6 +89,7 @@ class TcpConnection:
         interrupt_driven: bool = False,
         iss: int = 1000,
         rto_us: float = RTO_US,
+        max_rexmit_rounds: int = MAX_REXMIT_ROUNDS,
         name: Optional[str] = None,
     ):
         if recv_buf_size & (recv_buf_size - 1):
@@ -101,6 +102,7 @@ class TcpConnection:
         self.in_place = in_place
         self.interrupt_driven = interrupt_driven
         self.rto_us = rto_us
+        self.max_rexmit_rounds = max_rexmit_rounds
         self.handler_mode: Optional[str] = None
         name = name or f"tcp{local_port}"
         self.name = name
@@ -240,12 +242,8 @@ class TcpConnection:
                 self._rto_backoff = min(self._rto_backoff * 2, MAX_RTO_BACKOFF)
             if sh.snd_una == last_una:
                 stale_rounds += 1
-                if stale_rounds > MAX_REXMIT_ROUNDS:
-                    raise ProtocolError(
-                        f"{self.name}: peer unresponsive "
-                        f"({MAX_REXMIT_ROUNDS} retransmission rounds with "
-                        f"no acknowledgment progress)"
-                    )
+                if stale_rounds > self.max_rexmit_rounds:
+                    raise self._peer_dead("write")
             else:
                 stale_rounds = 0
                 last_una = sh.snd_una
@@ -301,15 +299,34 @@ class TcpConnection:
                         self._rto_backoff * 2, MAX_RTO_BACKOFF
                     )
                     stale_rounds += 1
-                    if stale_rounds > MAX_REXMIT_ROUNDS:
-                        raise ProtocolError(
-                            f"{self.name}: peer unresponsive in read "
-                            f"({MAX_REXMIT_ROUNDS} retransmission rounds "
-                            f"with no acknowledgment progress)"
-                        )
+                    if stale_rounds > self.max_rexmit_rounds:
+                        raise self._peer_dead("read")
             else:
                 stale_rounds = 0
         return bytes(out)
+
+    def _peer_dead(self, where: str) -> ProtocolError:
+        """Build the bounded-retransmission give-up error.
+
+        It carries everything a post-mortem needs without a re-run: the
+        flow 4-tuple (``.flow``), the final shared-TCB fields
+        (``.tcb_final``) and the raw block (``.tcb_blob``).
+        """
+        tcb = self.tcb
+        flow = (tcb.local_ip, tcb.local_port, tcb.remote_ip, tcb.remote_port)
+        final = tcb.shared.fields()
+        err = ProtocolError(
+            f"{self.name}: peer unresponsive in {where} "
+            f"({self.max_rexmit_rounds} retransmission rounds with no "
+            f"acknowledgment progress); flow "
+            f"{flow[0]:#010x}:{flow[1]} -> {flow[2]:#010x}:{flow[3]}, "
+            f"snd_una={final['snd_una']} snd_nxt={tcb.snd_nxt} "
+            f"rcv_nxt={final['rcv_nxt']} state={tcb.state.value}"
+        )
+        err.flow = flow
+        err.tcb_final = final
+        err.tcb_blob = tcb.shared.snapshot()
+        return err
 
     def linger(self, proc: "Process", duration_us: float = 100_000.0) -> Generator:
         """Keep servicing the connection for a while after the
@@ -725,8 +742,9 @@ class TcpConnection:
 
         if self.tcb.state is not TcpState.ESTABLISHED:
             raise SocketError("install the fast path after establishment")
-        setup_fastpath(self, kind=kind, sandbox=sandbox)
-        self.handler_mode = kind
+        # an ASH install refused under memory pressure degrades to the
+        # upcall variant; record what actually went in
+        self.handler_mode = setup_fastpath(self, kind=kind, sandbox=sandbox)
 
     @property
     def fastpath_hits(self) -> int:

@@ -13,7 +13,21 @@ makes all of those conditions injectable at well-defined seams:
   exhaustion and truncated DMA on a :class:`~repro.hw.nic.base.Nic`;
 * **kernel-path faults** (:meth:`FaultPlane.abort_ash`) — forced
   involuntary ASH aborts mid-handler, via a deliberately tiny cycle
-  budget (:func:`repro.sandbox.budget.forced_abort_budget`).
+  budget (:func:`repro.sandbox.budget.forced_abort_budget`);
+* **node crash/reboot** (:meth:`FaultPlane.crash_node`) — a scripted
+  kernel crash mid-flow that tears down every piece of kernel-volatile
+  state (DPF filters, installed ASHs, upcall bindings, rx rings) while
+  application memory — including the TCP ``SharedTcb`` region —
+  survives; the reboot path rebuilds the kernel from boot records and
+  the surviving application state (the exokernel bet);
+* **memory pressure** (:meth:`FaultPlane.pressure_memory`) — injected
+  allocation failure on ``mem.alloc`` and the allocation-like fast-path
+  sites (rx-ring refill, ASH install, pktbuf wrappers), each of which
+  must degrade gracefully, counted under ``mem.alloc_failures{site}``;
+* **CPU contention** (:meth:`FaultPlane.contend_cpu`) — seeded
+  cycle-stealing bursts that stretch wall-clock time without advancing
+  the victim's work, interacting with the sandbox abort budget and the
+  receive-livelock admission throttle.
 
 Every decision is drawn from a per-seam :class:`random.Random` stream
 seeded from ``(plane seed, seam name)`` and consumed in seam-call
@@ -47,8 +61,10 @@ from ..errors import SimError
 from .units import us
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.cpu import Cpu
     from ..hw.link import Frame, Link
     from ..hw.nic.base import Nic
+    from ..hw.node import Node
     from ..kernel.kernel import Kernel
 
 __all__ = [
@@ -56,12 +72,16 @@ __all__ = [
     "LinkImpairment",
     "NicStress",
     "AshAbortInjector",
+    "NodeCrash",
+    "MemPressure",
+    "CpuContention",
 ]
 
 #: every fault kind the plane can record in its ledger
 FAULT_KINDS = (
     "drop", "corrupt", "duplicate", "reorder", "delay",
     "nic_exhaust", "nic_truncate", "ash_abort",
+    "node_crash", "node_reboot", "mem_pressure", "cpu_contention",
 )
 
 
@@ -260,6 +280,176 @@ class AshAbortInjector(_Injector):
         return self.budget
 
 
+class NodeCrash(_Injector):
+    """A scripted node crash + reboot, driven by its own engine process.
+
+    At ``at_us`` the kernel crashes (:meth:`repro.kernel.kernel.Kernel.
+    crash`): every piece of kernel-volatile state — DPF filters, the
+    downloaded-ASH registry, upcall bindings, VCI bindings, pending rx
+    rings — is torn down, while application memory (and with it the TCP
+    ``SharedTcb`` region) survives untouched.  After ``outage_us`` of
+    dead air (NICs down, arriving frames dropped as ``node_down``) the
+    kernel reboots: filters are re-inserted, ASHs re-verified and
+    re-downloaded through the sandbox, VCIs rebound, and the transport
+    re-synchronizes from the surviving shared state via its ordinary
+    retransmission machinery — bounded recovery, not a hang.
+    """
+
+    def __init__(self, plane: "FaultPlane", kernel: "Kernel",
+                 at_us: float, outage_us: float = 500.0):
+        super().__init__(plane, f"crash:{kernel.node.name}", 0, None, None)
+        self.kernel = kernel
+        self.at = us(at_us)
+        self.outage = us(outage_us)
+        self.crashed_at: Optional[int] = None
+        self.rebooted_at: Optional[int] = None
+        plane.engine.spawn(self._script(), name=self.site)
+
+    def _script(self):
+        engine = self.plane.engine
+        delay = self.at - engine.now
+        if delay > 0:
+            yield engine.timeout(delay)
+        if not self.enabled or self.kernel.crashed:
+            return
+        self.kernel.crash()
+        self.crashed_at = engine.now
+        self.plane.record("node_crash", self.site)
+        yield engine.timeout(self.outage)
+        self.kernel.reboot()
+        self.rebooted_at = engine.now
+        self.plane.record("node_reboot", self.site)
+
+
+class MemPressure(_Injector):
+    """Injected allocation failure, per allocating call site.
+
+    Installed as ``node.memory.pressure``; every gated site draws from
+    its **own** seeded stream (``mem:<node>:<site>``) so sites that only
+    exist on one substrate (the ``pktbuf`` wrapper pool is fast-only)
+    cannot perturb the failure pattern of substrate-invariant sites.
+    For the same reason ``pktbuf`` is *not* in the default site set —
+    gate it explicitly when substrate identity is not required.
+
+    Refusals degrade, never crash: the pktbuf pool falls back to the
+    legacy bytes path, a refused rx-ring refill is deferred and flushed
+    by the next successful one, a refused ASH install falls back to the
+    upcall path.  Every refusal is counted under
+    ``mem.alloc_failures{site}``.
+    """
+
+    DEFAULT_SITES = ("rx_refill", "ash_install", "alloc")
+
+    def __init__(self, plane: "FaultPlane", node: "Node",
+                 rate: float = 0.0,
+                 rates: Optional[dict] = None,
+                 sites: Optional[tuple] = None,
+                 max_failures: Optional[int] = None,
+                 skip_first: int = 0,
+                 start_us: Optional[float] = None,
+                 stop_us: Optional[float] = None):
+        super().__init__(plane, f"mem:{node.name}", skip_first,
+                         start_us, stop_us)
+        self.node = node
+        chosen = tuple(sites) if sites is not None else self.DEFAULT_SITES
+        self.rates: dict[str, float] = {site: rate for site in chosen}
+        if rates:
+            self.rates.update(rates)
+        self.max_failures = max_failures
+        self.fired = 0
+        self._site_rng: dict[str, random.Random] = {}
+        self._site_seen: dict[str, int] = {}
+
+    def should_fail(self, site: str) -> bool:
+        """One allocation attempt at ``site``; True = refuse it."""
+        rate = self.rates.get(site, 0.0)
+        if not rate:
+            return False
+        seen = self._site_seen.get(site, 0) + 1
+        self._site_seen[site] = seen
+        if not self.enabled or seen <= self.skip_first:
+            return False
+        now = self.plane.engine.now
+        if self.start is not None and now < self.start:
+            return False
+        if self.stop is not None and now >= self.stop:
+            return False
+        if self.max_failures is not None and self.fired >= self.max_failures:
+            return False
+        rng = self._site_rng.get(site)
+        if rng is None:
+            rng = self.plane._rng_for(f"{self.site}:{site}")
+            self._site_rng[site] = rng
+        if rng.random() >= rate:
+            return False
+        self.fired += 1
+        self.plane.record("mem_pressure", f"{self.site}:{site}")
+        tel = self.plane.telemetry
+        if tel is not None and tel.enabled:
+            tel.counter("mem.alloc_failures", site=site,
+                        node=self.node.name).inc()
+        return True
+
+
+class CpuContention(_Injector):
+    """Seeded cycle-stealing bursts on one CPU.
+
+    Installed as ``cpu.contention``.  Two seams consume the stream in
+    seam-call order:
+
+    * :meth:`steal` — once per :meth:`repro.hw.cpu.Cpu.exec` call; a
+      firing burst holds the CPU for ``burst_cycles`` of *foreign* work
+      before the victim's charge starts, stretching wall-clock without
+      advancing the victim (so the livelock admission window fills with
+      fewer messages served);
+    * :meth:`budget_penalty` — once per timer-budgeted ASH invocation;
+      the abort timer is wall-clock, so a burst landing inside the
+      handler's window eats its cycle budget and can force an
+      involuntary abort (which must then degrade in order, zero-loss).
+    """
+
+    def __init__(self, plane: "FaultPlane", node: "Node",
+                 rate: float = 0.0, burst_cycles: int = 400,
+                 budget_rate: Optional[float] = None,
+                 max_bursts: Optional[int] = None,
+                 skip_first: int = 0,
+                 start_us: Optional[float] = None,
+                 stop_us: Optional[float] = None):
+        super().__init__(plane, f"cpu:{node.name}", skip_first,
+                         start_us, stop_us)
+        self.cpu: "Cpu" = node.cpu
+        self.rate = rate
+        self.burst_cycles = burst_cycles
+        self.budget_rate = rate if budget_rate is None else budget_rate
+        self.max_bursts = max_bursts
+        self.fired = 0
+
+    def _burst(self, rate: float) -> int:
+        if not self._gate():
+            return 0
+        if self.max_bursts is not None and self.fired >= self.max_bursts:
+            return 0
+        if not rate or self.rng.random() >= rate:
+            return 0
+        self.fired += 1
+        self.plane.record("cpu_contention", self.site)
+        tel = self.plane.telemetry
+        if tel is not None and tel.enabled:
+            tel.counter("cpu.contention_cycles",
+                        cpu=self.cpu.name).inc(self.burst_cycles)
+        return self.burst_cycles
+
+    def steal(self) -> int:
+        """Cycles of foreign work stealing the CPU from this ``exec``
+        call (0 = none this time)."""
+        return self._burst(self.rate)
+
+    def budget_penalty(self) -> int:
+        """Cycles a contention burst eats out of a wall-clock abort
+        budget for the ASH invocation starting now (0 = none)."""
+        return self._burst(self.budget_rate)
+
+
 class FaultPlane:
     """Seeded, scenario-scriptable fault injection for one engine."""
 
@@ -299,10 +489,34 @@ class FaultPlane:
         self.injectors.append(injector)
         return injector
 
+    def crash_node(self, kernel: "Kernel", at_us: float,
+                   outage_us: float = 500.0) -> NodeCrash:
+        """Script a kernel crash at ``at_us`` and a reboot ``outage_us``
+        later (see NodeCrash)."""
+        crash = NodeCrash(self, kernel, at_us, outage_us)
+        self.injectors.append(crash)
+        return crash
+
+    def pressure_memory(self, node: "Node", **knobs) -> MemPressure:
+        """Inject allocation failures on ``node``'s memory (see
+        MemPressure)."""
+        pressure = MemPressure(self, node, **knobs)
+        node.memory.pressure = pressure
+        self.injectors.append(pressure)
+        return pressure
+
+    def contend_cpu(self, node: "Node", **knobs) -> CpuContention:
+        """Install cycle-stealing bursts on ``node``'s CPU (see
+        CpuContention)."""
+        contention = CpuContention(self, node, **knobs)
+        node.cpu.contention = contention
+        self.injectors.append(contention)
+        return contention
+
     def apply_scenario(self, scenario: list[dict]) -> list[_Injector]:
         """Install a declarative scenario: a list of specs, each with a
-        ``site`` ("link" / "nic" / "ash"), a ``target`` object, and the
-        matching injector's keyword knobs."""
+        ``site`` ("link" / "nic" / "ash" / "crash" / "mem" / "cpu"), a
+        ``target`` object, and the matching injector's keyword knobs."""
         installed = []
         for spec in scenario:
             spec = dict(spec)
@@ -314,6 +528,12 @@ class FaultPlane:
                 installed.append(self.stress_nic(target, **spec))
             elif site == "ash":
                 installed.append(self.abort_ash(target, **spec))
+            elif site == "crash":
+                installed.append(self.crash_node(target, **spec))
+            elif site == "mem":
+                installed.append(self.pressure_memory(target, **spec))
+            elif site == "cpu":
+                installed.append(self.contend_cpu(target, **spec))
             else:
                 raise SimError(f"unknown fault site {site!r}")
         return installed

@@ -293,10 +293,326 @@ def test_scenario_script_installs_all_sites():
         {"site": "link", "target": tb.link, "drop": 0.1, "skip_first": 3},
         {"site": "nic", "target": tb.server_nic, "exhaust": 0.2},
         {"site": "ash", "target": tb.server_kernel, "every": 3},
+        {"site": "mem", "target": tb.server, "rate": 0.1},
+        {"site": "cpu", "target": tb.server, "rate": 0.1},
     ])
-    assert len(installed) == 3
+    assert len(installed) == 5
     assert tb.link.impairment is installed[0]
     assert tb.server_nic.stress is installed[1]
     assert tb.server_kernel.ash_system.fault_injector is installed[2]
+    assert tb.server.memory.pressure is installed[3]
+    assert tb.server.cpu.contention is installed[4]
     with pytest.raises(Exception):
         plane.apply_scenario([{"site": "nope", "target": tb.link}])
+
+
+# ---------------------------------------------------------------------------
+# crash/restart recovery plane
+# ---------------------------------------------------------------------------
+
+def crash_tcp_transfer(substrate: str, seed: int, nbytes: int = 48_000,
+                       crash_at_us: float = 1_500.0,
+                       outage_us: float = 40_000.0,
+                       mode: str = None, crash: bool = True,
+                       pressure: dict = None, contention: dict = None,
+                       knobs: dict = None) -> dict:
+    """Bulk transfer with an optional scripted server crash mid-flow,
+    plus optional memory-pressure / CPU-contention / link seams; returns
+    observables including the recovery record."""
+    tb = make_an2_pair(engine=Engine(substrate=substrate))
+    cstack, sstack = make_stacks(tb)
+    client, server = tcp_pair(cstack, sstack, rto_us=20_000.0)
+    plane = tb.attach_fault_plane(seed=seed)
+    if knobs:
+        plane.impair_link(tb.link, skip_first=3, **knobs)
+    if crash:
+        plane.crash_node(tb.server_kernel, at_us=crash_at_us,
+                         outage_us=outage_us)
+    if pressure:
+        plane.pressure_memory(tb.server, **pressure)
+    if contention:
+        plane.contend_cpu(tb.server, **contention)
+    data = bytes(random.Random(seed).randrange(256) for _ in range(nbytes))
+    got = []
+
+    def server_body(proc):
+        yield from server.accept(proc)
+        if mode is not None:
+            server.install_fastpath(mode)
+        got.append((yield from server.read(proc, nbytes)))
+        yield from server.write(proc, b"done")
+
+    def client_body(proc):
+        yield from client.connect(proc)
+        yield from client.write(proc, data)
+        reply = yield from client.read(proc, 4)
+        assert reply == b"done"
+        yield from client.linger(proc, duration_us=2_000_000.0)
+
+    tb.server_kernel.spawn_process("server", server_body)
+    tb.client_kernel.spawn_process("client", client_body)
+    tb.run()
+    assert got and got[0] == data, "transfer corrupted or incomplete"
+    sk, ck = tb.server_kernel, tb.client_kernel
+    return {
+        "delivered": got[0],
+        "ledger": plane.ledger(),
+        "recoveries": sk.recoveries,
+        "crash_log": [dict(rec) for rec in sk.crash_log],
+        "lost_messages": sk.lost_messages,
+        "order_violations": (sk.degradation_order_violations,
+                             ck.degradation_order_violations),
+        "outcomes": (dict(sk.delivery_outcomes),
+                     dict(ck.delivery_outcomes)),
+        "alloc_failures": dict(tb.server.memory.alloc_failures),
+        "contention_cycles": tb.server.cpu.contention_cycles,
+        "install_failures": sk.ash_system.install_failures,
+        "abort_fallbacks": sk.ash_abort_fallbacks,
+        "handler_mode": server.handler_mode,
+        "retransmits": (client.tcb.retransmits, server.tcb.retransmits),
+        "time_ps": tb.engine.now,
+    }
+
+
+class TestCrashRecovery:
+    def test_crash_mid_flow_zero_loss(self):
+        """The acceptance bar: a node crash mid-transfer tears down all
+        kernel-volatile state, yet the flow completes byte-identically
+        to the uncrashed run — the SharedTcb survives in application
+        memory and the sender's retransmissions bridge the outage."""
+        crashed = crash_tcp_transfer("fast", seed=31)
+        clean = crash_tcp_transfer("fast", seed=31, crash=False)
+        assert crashed["delivered"] == clean["delivered"]
+        assert crashed["recoveries"] == 1
+        assert clean["recoveries"] == 0
+        rec = crashed["crash_log"][0]
+        assert rec["reboot_at"] is not None
+        # the crash landed mid-flow: traffic resumed after the reboot
+        assert rec["first_delivery_after_reboot"] is not None
+        assert rec["first_delivery_after_reboot"] >= rec["reboot_at"]
+        # retransmissions did real work bridging the outage
+        assert crashed["retransmits"][0] > clean["retransmits"][0]
+        assert crashed["time_ps"] > clean["time_ps"]
+        assert crashed["order_violations"] == (0, 0)
+
+    def test_crash_recovery_bit_identical_across_substrates(self):
+        fast = crash_tcp_transfer("fast", seed=37)
+        legacy = crash_tcp_transfer("legacy", seed=37)
+        assert fast == legacy
+
+    @pytest.mark.parametrize("mode", ["ash", "upcall"])
+    def test_crash_reinstalls_fastpath(self, mode):
+        """Reboot re-registers the endpoint's handlers from the boot
+        records: a downloaded ASH is re-verified and re-installed under
+        its original id, an upcall binding is restored verbatim."""
+        out = crash_tcp_transfer("fast", seed=41, mode=mode)
+        assert out["recoveries"] == 1
+        rec = out["crash_log"][0]
+        assert rec["first_delivery_after_reboot"] is not None
+        if mode == "ash":
+            assert rec["ash_reinstalls"] == 1
+            assert rec["ash_reinstall_failures"] == 0
+        # post-reboot segments were consumed by the reinstalled handler
+        assert out["outcomes"][0].get(mode, 0) > 0
+        assert out["order_violations"] == (0, 0)
+
+    def test_messages_lost_in_crash_are_counted(self):
+        """Rx-ring contents die with the kernel — never silently: each
+        flushed or in-flight message is counted, and TCP recovers every
+        byte anyway."""
+        outs = {}
+        for substrate in ("fast", "legacy"):
+            outs[substrate] = crash_tcp_transfer(
+                substrate, seed=43, mode="upcall", crash_at_us=900.0
+            )
+        assert outs["fast"] == outs["legacy"]
+        out = outs["fast"]
+        assert out["crash_log"][0]["lost_messages"] == out["lost_messages"]
+        assert out["ledger"].get("node_crash") == 1
+        assert out["ledger"].get("node_reboot") == 1
+
+
+class TestMemPressure:
+    def test_rx_refill_pressure_degrades_not_loses(self):
+        """Failed replenish allocations park the buffer (deferred
+        refill) instead of wedging the ring; the transfer completes."""
+        outs = {}
+        for substrate in ("fast", "legacy"):
+            outs[substrate] = crash_tcp_transfer(
+                substrate, seed=47, crash=False, nbytes=24_000,
+                pressure=dict(rate=0.2, sites=("rx_refill",)),
+            )
+        assert outs["fast"] == outs["legacy"]
+        out = outs["fast"]
+        assert out["alloc_failures"].get("rx_refill", 0) > 0
+        assert out["ledger"].get("mem_pressure", 0) > 0
+        assert out["order_violations"] == (0, 0)
+
+    def test_ash_install_pressure_degrades_to_upcall(self):
+        """An ASH download refused under memory pressure degrades the
+        fast path one level: the upcall handler serves the flow."""
+        out = crash_tcp_transfer(
+            "fast", seed=53, crash=False, nbytes=24_000, mode="ash",
+            pressure=dict(rate=1.0, sites=("ash_install",),
+                          max_failures=1),
+        )
+        assert out["handler_mode"] == "upcall"
+        assert out["install_failures"] == 1
+        assert out["alloc_failures"].get("ash_install") == 1
+        assert out["outcomes"][0].get("upcall", 0) > 0
+        assert out["order_violations"] == (0, 0)
+
+    def test_direct_alloc_failure_raises_typed_error(self):
+        from repro.errors import AllocationError
+
+        tb = make_an2_pair()
+        plane = tb.attach_fault_plane(seed=59)
+        plane.pressure_memory(tb.server, rate=1.0, sites=("alloc",),
+                              max_failures=1)
+        with pytest.raises(AllocationError) as exc:
+            tb.server.memory.alloc("victim", 128, site="alloc")
+        assert exc.value.site == "alloc"
+        assert tb.server.memory.alloc_failures == {"alloc": 1}
+        # max_failures reached: the next allocation proceeds normally
+        region = tb.server.memory.alloc("victim", 128, site="alloc")
+        assert region.size == 128
+
+
+class TestCpuContention:
+    def test_contention_stretches_time_zero_loss(self):
+        """Stolen cycles stretch virtual time but lose nothing; the
+        stretched schedule is identical across substrates."""
+        outs = {}
+        for substrate in ("fast", "legacy"):
+            outs[substrate] = crash_tcp_transfer(
+                substrate, seed=61, crash=False, nbytes=24_000,
+                contention=dict(rate=0.3, burst_cycles=2_000),
+            )
+        assert outs["fast"] == outs["legacy"]
+        out = outs["fast"]
+        calm = crash_tcp_transfer("fast", seed=61, crash=False,
+                                  nbytes=24_000)
+        assert out["contention_cycles"] > 0
+        assert out["ledger"].get("cpu_contention", 0) > 0
+        assert out["time_ps"] > calm["time_ps"]
+        assert out["order_violations"] == (0, 0)
+
+    def test_budget_contention_forces_ash_aborts(self):
+        """A contention burst charged against the sandbox's wall-clock
+        timer budget forces an involuntary abort mid-handler — which
+        degrades in order through the hierarchy with zero loss."""
+        out = crash_tcp_transfer(
+            "fast", seed=67, crash=False, nbytes=24_000, mode="ash",
+            # the two-tick budget is 80k cycles: a near-budget burst
+            # leaves the handler almost nothing, tripping the timer
+            contention=dict(budget_rate=0.5, burst_cycles=79_990),
+        )
+        assert out["abort_fallbacks"] > 0, \
+            "no budget-starved ASH was ever involuntarily aborted"
+        sk_outcomes = out["outcomes"][0]
+        assert sk_outcomes.get("ash", 0) > 0
+        # no upcall is bound: aborted messages degrade ash -> ring
+        assert sk_outcomes.get("ring", 0) > out["abort_fallbacks"] // 2
+        assert out["order_violations"] == (0, 0)
+
+
+def test_combined_fault_sweep_zero_order_violations():
+    """Everything at once — crash mid-flow, memory pressure, CPU
+    contention, link chaos — and service still degrades strictly
+    ash → upcall → ring → drop with zero silent loss, bit-identically
+    on both substrates."""
+    outs = {}
+    for substrate in ("fast", "legacy"):
+        outs[substrate] = crash_tcp_transfer(
+            substrate, seed=71, mode="ash",
+            pressure=dict(rate=0.1,
+                          sites=("rx_refill", "ash_install")),
+            contention=dict(rate=0.1, burst_cycles=1_000,
+                            budget_rate=0.2),
+            knobs=dict(drop=0.02, corrupt=0.02),
+        )
+    assert outs["fast"] == outs["legacy"]
+    out = outs["fast"]
+    assert out["recoveries"] == 1
+    assert out["order_violations"] == (0, 0)
+    fired = out["ledger"]
+    assert fired.get("node_crash") == 1 and fired.get("node_reboot") == 1
+
+
+# ---------------------------------------------------------------------------
+# multi-pair fault isolation
+# ---------------------------------------------------------------------------
+
+def _pair_observables(tb, client, server, got, data):
+    assert got and got[0] == data, "transfer corrupted or incomplete"
+    sk, ck = tb.server_kernel, tb.client_kernel
+    return {
+        "delivered": got[0],
+        "retransmits": (client.tcb.retransmits, server.tcb.retransmits),
+        "checksum_failures": (client.tcb.checksum_failures,
+                              server.tcb.checksum_failures),
+        "acks_sent": (client.tcb.acks_sent, server.tcb.acks_sent),
+        "outcomes": (dict(sk.delivery_outcomes),
+                     dict(ck.delivery_outcomes)),
+        "lost_messages": (sk.lost_messages, ck.lost_messages),
+        "recoveries": (sk.recoveries, ck.recoveries),
+        "order_violations": (sk.degradation_order_violations,
+                             ck.degradation_order_violations),
+    }
+
+
+def multi_pair_run(substrate: str, npairs: int = 3,
+                   impair: bool = False) -> list:
+    """N independent TCP flows in one shared engine; optionally crash
+    and chaos pair 0 only.  Returns per-pair observables."""
+    engine = Engine(substrate=substrate)
+    world = []
+    for i in range(npairs):
+        tb = make_an2_pair(engine=engine, name_prefix=f"p{i}.")
+        cstack, sstack = make_stacks(tb)
+        client, server = tcp_pair(cstack, sstack, rto_us=20_000.0)
+        data = bytes(random.Random(100 + i).randrange(256)
+                     for _ in range(12_000))
+        got = []
+
+        def server_body(proc, server=server, got=got, n=len(data)):
+            yield from server.accept(proc)
+            got.append((yield from server.read(proc, n)))
+            yield from server.write(proc, b"done")
+
+        def client_body(proc, client=client, data=data):
+            yield from client.connect(proc)
+            yield from client.write(proc, data)
+            reply = yield from client.read(proc, 4)
+            assert reply == b"done"
+            yield from client.linger(proc, duration_us=2_000_000.0)
+
+        tb.server_kernel.spawn_process(f"p{i}.server", server_body)
+        tb.client_kernel.spawn_process(f"p{i}.client", client_body)
+        world.append((tb, client, server, got, data))
+    if impair:
+        tb0 = world[0][0]
+        plane = tb0.attach_fault_plane(seed=83)
+        plane.crash_node(tb0.server_kernel, at_us=2_000.0,
+                         outage_us=30_000.0)
+        plane.impair_link(tb0.link, drop=0.05, corrupt=0.05,
+                          skip_first=3)
+    from repro.sim.units import seconds
+    engine.run(until=engine.now + seconds(120.0))
+    return [_pair_observables(*entry) for entry in world]
+
+
+@pytest.mark.parametrize("substrate", ["fast", "legacy"])
+def test_multi_pair_fault_isolation(substrate):
+    """Crashing and impairing one pair in a shared-engine world leaves
+    every other flow's observables byte-identical to the unimpaired
+    run: faults do not leak across node boundaries."""
+    calm = multi_pair_run(substrate)
+    stormy = multi_pair_run(substrate, impair=True)
+    # the impaired pair really was hit ...
+    assert stormy[0]["recoveries"] == (1, 0)
+    assert stormy[0]["retransmits"] != calm[0]["retransmits"]
+    # ... and the bystanders never noticed
+    assert stormy[1:] == calm[1:]
+    for obs in stormy:
+        assert obs["order_violations"] == (0, 0)

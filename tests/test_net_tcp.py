@@ -277,6 +277,99 @@ class TestLossRecovery:
         assert got and got[0] == data
 
 
+class TestSharedTcbSnapshot:
+    def test_mid_transfer_roundtrip_into_fresh_memory(self):
+        """The shared block is application-durable state: serialized
+        mid-transfer and restored into a brand-new memory region, every
+        field survives verbatim — the substrate of crash recovery."""
+        from repro.net.tcp.tcb import SHARED_TCB_FIELDS, SHARED_TCB_SIZE, SharedTcb
+
+        tb, client, server = build_pair()
+        data = bytes(range(256)) * 40
+        blobs = []
+
+        def s(proc):
+            yield from server.accept(proc)
+            # read half, snapshot with the connection hot (unacked
+            # bytes in flight, counters mid-stride), then finish
+            yield from server.read(proc, len(data) // 2)
+            blobs.append(server.tcb.shared.snapshot())
+            yield from server.read(proc, len(data) - len(data) // 2)
+
+        def c(proc):
+            yield from client.connect(proc)
+            yield from client.write(proc, data)
+
+        run_session(tb, client, server, c, s)
+        assert len(blobs) == 1 and len(blobs[0]) == SHARED_TCB_SIZE
+        original = SharedTcb(tb.server.memory, server.tcb.shared.base)
+        fresh_region = tb.server.memory.alloc("tcb-restore", SHARED_TCB_SIZE)
+        restored = SharedTcb(tb.server.memory, fresh_region.base)
+        restored.restore(blobs[0])
+        live = {name: getattr(original, name) for name in SHARED_TCB_FIELDS}
+        decoded = restored.fields()
+        assert set(decoded) == set(SHARED_TCB_FIELDS)
+        # the snapshot was taken mid-transfer: it must differ from the
+        # final block (proof it captured a moment, not the end state)
+        assert decoded != live
+        assert restored.snapshot() == blobs[0]
+        # and a second hop through snapshot() is the identity
+        again = SharedTcb(tb.server.memory, fresh_region.base)
+        assert again.fields() == decoded
+
+    def test_restore_rejects_wrong_length(self):
+        from repro.net.tcp.tcb import SharedTcb
+
+        tb, client, server = build_pair()
+        with pytest.raises(ValueError):
+            SharedTcb(tb.server.memory, server.tcb.shared.base).restore(b"x")
+
+
+class TestPeerDeath:
+    def test_bounded_rexmit_error_carries_flow_and_tcb(self):
+        """After the retransmission bound the writer gives up with a
+        ProtocolError that identifies the flow (4-tuple) and carries the
+        final shared-TCB snapshot for post-mortem."""
+        from repro.errors import ProtocolError
+        from repro.net.headers import ip_aton
+        from repro.net.tcp.tcb import SHARED_TCB_FIELDS, SHARED_TCB_SIZE
+
+        tb, client, server = build_pair(rto_us=5_000.0, max_rexmit_rounds=3)
+        original = tb.link.send
+        counter = {"n": 0}
+
+        def dead_after_handshake(end, frame):
+            counter["n"] += 1
+            if counter["n"] > 3:  # SYN, SYN|ACK, ACK pass; then silence
+                return 0
+            return original(end, frame)
+
+        tb.link.send = dead_after_handshake
+        caught = []
+
+        def s(proc):
+            yield from server.accept(proc)
+
+        def c(proc):
+            yield from client.connect(proc)
+            try:
+                yield from client.write(proc, b"into the void" * 100)
+            except ProtocolError as exc:
+                caught.append(exc)
+
+        run_session(tb, client, server, c, s)
+        assert len(caught) == 1
+        err = caught[0]
+        assert err.flow == (ip_aton("10.0.0.1"), 5000, ip_aton("10.0.0.2"), 80)
+        assert set(err.tcb_final) == set(SHARED_TCB_FIELDS)
+        assert len(err.tcb_blob) == SHARED_TCB_SIZE
+        assert err.tcb_final["snd_una"] == client.tcb.shared.snd_una
+        # the message itself names the flow and the give-up site
+        assert "write" in str(err) and "10.0.0.2" not in str(err)
+        assert f"{ip_aton('10.0.0.2'):#010x}" in str(err)
+        assert client.tcb.retransmits >= 3
+
+
 class TestClose:
     def test_fin_exchange_gives_eof(self):
         tb, client, server = build_pair()
