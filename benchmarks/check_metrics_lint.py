@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Cross-check metric call sites in ``src/`` against the export schema.
+
+Usage::
+
+    python benchmarks/check_metrics_lint.py
+
+Two directions, both fatal:
+
+1. **source → registry**: every ``counter("name")`` / ``gauge("name")``
+   / ``histogram("name")`` call site in ``src/`` must name a metric in
+   ``check_metrics_schema.KNOWN_METRICS`` — under the same kind.  A new
+   metric that lands without a schema entry would export fine but never
+   be validated, which is how inventories rot.
+2. **registry → source**: every name in ``KNOWN_METRICS`` must appear
+   as a string literal somewhere under ``src/``.  Entries with no
+   emitter are stale schema and get deleted, not grandfathered.
+
+Direction 2 matches bare literals (not call sites) on purpose: some
+metrics are emitted indirectly — e.g. ``Engine.publish_telemetry``
+builds a dict of ``sim.calendar.*`` names and loops
+``hub.counter(name)`` — and those still count as live.
+
+Stdlib only; run by ``tests/test_metrics_lint.py`` as a tier-1 gate.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+SRC_ROOT = os.path.join(os.path.dirname(_HERE), "src")
+
+# \s* spans newlines so wrapped calls like
+#   tel.counter(
+#       "degradation.order_violations", ...)
+# still resolve to a (kind, name) pair.
+_CALL_RE = re.compile(
+    r"\.(counter|gauge|histogram)\(\s*\"([^\"]+)\"", re.DOTALL
+)
+
+_KIND_BLOCK = {"counter": "counters", "gauge": "gauges",
+               "histogram": "histograms"}
+
+
+def _load_registry():
+    sys.path.insert(0, _HERE)
+    try:
+        from check_metrics_schema import KNOWN_METRICS
+    finally:
+        sys.path.pop(0)
+    return KNOWN_METRICS
+
+
+def _python_files(root: str):
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for fn in sorted(filenames):
+            if fn.endswith(".py"):
+                yield os.path.join(dirpath, fn)
+
+
+def scan_call_sites(root: str = SRC_ROOT):
+    """Yield (path, kind-block, metric-name) for every direct call site."""
+    for path in _python_files(root):
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for match in _CALL_RE.finditer(text):
+            kind, name = match.groups()
+            yield path, _KIND_BLOCK[kind], name
+
+
+def lint(root: str = SRC_ROOT, registry=None) -> list[str]:
+    """Return the list of drift errors (empty means clean)."""
+    registry = _load_registry() if registry is None else registry
+    errors: list[str] = []
+    seen: set[str] = set()
+    for path, kind, name in scan_call_sites(root):
+        rel = os.path.relpath(path, os.path.dirname(SRC_ROOT))
+        seen.add(name)
+        expected = registry.get(name)
+        if expected is None:
+            errors.append(
+                f"{rel}: metric {name!r} ({kind}) is not in KNOWN_METRICS — "
+                f"add it to benchmarks/check_metrics_schema.py"
+            )
+        elif expected != kind:
+            errors.append(
+                f"{rel}: metric {name!r} emitted as {kind}, registered as "
+                f"{expected}"
+            )
+    # direction 2: registry entries must appear as literals somewhere
+    missing = {name for name in registry if name not in seen}
+    if missing:
+        corpus = []
+        for path in _python_files(root):
+            with open(path, encoding="utf-8") as fh:
+                corpus.append(fh.read())
+        blob = "\n".join(corpus)
+        for name in sorted(missing):
+            if f'"{name}"' not in blob and f"'{name}'" not in blob:
+                errors.append(
+                    f"KNOWN_METRICS entry {name!r} has no emitter under "
+                    f"src/ — stale schema, delete it"
+                )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    del argv  # no options; the roots are fixed by repo layout
+    errors = lint()
+    if errors:
+        print(f"FAIL metrics lint ({len(errors)} problems)")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    registry = _load_registry()
+    print(f"ok   metrics lint ({len(registry)} registered metrics, "
+          f"all call sites accounted for)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -379,6 +379,11 @@ class AshSystem:
                 tel.counter("ash.involuntary_aborts",
                             handler=handler_name).inc()
                 tel.counter("ash.cycles_total", handler=handler_name).inc(burnt)
+                now = kernel.engine.now
+                tel.flight.record("ash_abort", now, handler=handler_name,
+                                  cycles=burnt, fault=type(exc).__name__)
+                tel.flight.dump("ash_involuntary_abort", now,
+                                handler=handler_name)
             return False
 
         yield from kernel.charge_with_sends(result, pending, PRIO_INTERRUPT)

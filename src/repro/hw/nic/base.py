@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, TYPE_CHECKING
 
 from ...sim.engine import Engine
+from ...telemetry.tracecontext import adopt_rx_context, attach_tx_context
 from ..calibration import Calibration
 from ..link import Frame, Link
 
@@ -187,6 +188,9 @@ class Nic:
         if tel is not None and tel.enabled:
             tel.counter("nic.tx_frames", nic=self.name).inc()
             tel.counter("nic.tx_bytes", nic=self.name).inc(len(frame.data))
+            # trace context rides Frame.meta: sidecar only, never part
+            # of len(frame) and therefore of any wire or CPU cost
+            attach_tx_context(tel, self.engine, frame)
         self.link.send(self.link_end, frame)
 
     # -- receive ----------------------------------------------------------
@@ -228,6 +232,7 @@ class Nic:
             now = self.engine.now
             span = tel.spans.begin(f"{self.name}.rx", now)
             span.stage("nic_rx", now)
+            adopt_rx_context(tel, frame, span)
             desc.meta["span"] = span
         if self.rx_callback is not None:
             self.rx_callback(desc)

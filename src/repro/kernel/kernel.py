@@ -131,14 +131,23 @@ class Kernel(SyscallInterface):
         self._m_demux_misses = tel.counter("kernel.demux_misses")
         self._m_demux_us = tel.histogram("kernel.demux_us")
         self._m_livelock = tel.counter("kernel.livelock_deferrals")
-        #: span of the message currently being delivered (so transmit
-        #: paths reached from inside handlers can tag the reply)
-        self._active_span = None
         # the ASH runtime (imported here to keep layering one-way)
         from ..ash.system import AshSystem
         self.ash_system = AshSystem(self)
         for nic in node.nics.values():
             self.attach_nic(nic)
+
+    # span of the message currently being delivered, so transmit paths
+    # reached from inside handlers can tag the reply.  Kept on the span
+    # tracker (not here) because the NIC and protocol libraries need the
+    # same notion of "current delivery" for trace-context attribution.
+    @property
+    def _active_span(self):
+        return self.telemetry.spans.active
+
+    @_active_span.setter
+    def _active_span(self, span) -> None:
+        self.telemetry.spans.active = span
 
     # -- configuration ------------------------------------------------------
     def attach_nic(self, nic: Nic) -> None:
@@ -283,6 +292,13 @@ class Kernel(SyscallInterface):
             tel.counter("crash.crashes").inc()
             if rec["lost_messages"]:
                 tel.counter("crash.lost_messages").inc(rec["lost_messages"])
+            # the flight recorder lives in application memory (like the
+            # SharedTcb regions), so everything recorded before this
+            # instant survives the teardown above and lands in the dump
+            tel.flight.record("crash", self.engine.now,
+                              lost=rec["lost_messages"])
+            tel.flight.dump("kernel_crash", self.engine.now,
+                            lost=rec["lost_messages"])
         self.node.trace("kernel.crash", f"lost={rec['lost_messages']}")
 
     def reboot(self) -> None:
@@ -537,14 +553,23 @@ class Kernel(SyscallInterface):
         kbuf exhaustion) — anything else is a reordering bug."""
         self.delivery_outcomes[outcome] = \
             self.delivery_outcomes.get(outcome, 0) + 1
+        tel = self.telemetry
         for level in self._DELIVERY_ORDER[
                 :self._DELIVERY_ORDER.index(outcome)]:
             if level not in skips:
                 self.degradation_order_violations += 1
-                if self.telemetry.enabled:
-                    self.telemetry.counter(
+                if tel.enabled:
+                    tel.counter(
                         "degradation.order_violations",
                         outcome=outcome, skipped=level).inc()
+                    tel.flight.record("degradation", self.engine.now,
+                                      outcome=outcome, skipped=level)
+        if tel.enabled and skips.get("ash") == "involuntary_abort":
+            # a forced-abort fall-through is the canonical degradation
+            # event forensics care about: keep it in the ring
+            tel.flight.record("degradation", self.engine.now,
+                              outcome=outcome, skipped="ash",
+                              reason="involuntary_abort")
         if self._await_first_delivery and outcome != "drop":
             self._await_first_delivery = False
             self.crash_log[-1]["first_delivery_after_reboot"] = self.engine.now

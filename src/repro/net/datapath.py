@@ -53,12 +53,20 @@ class DataPath:
         self._pl = pl
         self._integrated = compile_pl(pl, PIPE_WRITE, cal=node.cal)
         self._integrated.telemetry = node.telemetry
+        # per-op instrument cache: _record sits on every copy/checksum
+        # call, so the registry lookup is paid once per op, not per call
+        self._instruments: dict[str, tuple] = {}
 
     def _record(self, op: str, nbytes: int, cycles: int) -> None:
         tel = self.tel
         if tel.enabled:
-            tel.counter("datapath.bytes", op=op).inc(nbytes)
-            tel.counter("datapath.cycles", op=op).inc(cycles)
+            pair = self._instruments.get(op)
+            if pair is None:
+                pair = (tel.counter("datapath.bytes", op=op),
+                        tel.counter("datapath.cycles", op=op))
+                self._instruments[op] = pair
+            pair[0].inc(nbytes)
+            pair[1].inc(cycles)
 
     # -- copies ------------------------------------------------------------
     def copy(self, src: int, dst: int, nbytes: int) -> int:

@@ -137,6 +137,12 @@ class TcpConnection:
             mss=mss,
         )
         self.tcb.timers = TimerWheel(self.kernel.engine, name=name)
+        #: per-flow SLO stats, keyed by the 4-tuple.  Created eagerly so
+        #: the cached instruments stay valid across enable()/disable()
+        #: flips; every recording call is a no-op branch while disabled.
+        self.flow = (self.tcb.local_ip, self.tcb.local_port,
+                     self.tcb.remote_ip, self.tcb.remote_port)
+        self._flow = self.tel.slo.flow(self.flow)
         self._unacked: deque[tuple[int, bytes]] = deque()  # (seq, payload)
         self._dup_ack_count = 0   #: consecutive duplicate ACKs seen
         self._rto_backoff = 1     #: current RTO multiplier (exponential)
@@ -219,6 +225,7 @@ class TcpConnection:
         offset = 0
         stale_rounds = 0
         last_una = sh.snd_una
+        write_start = proc.engine.now
         while seq_lt(sh.snd_una, target):
             sh.lib_busy = 1
             # fill the window
@@ -247,6 +254,12 @@ class TcpConnection:
             else:
                 stale_rounds = 0
                 last_una = sh.snd_una
+        if self.tel.enabled:
+            # sender-side flow latency: first byte handed to the stack
+            # until the last byte of this write was acknowledged
+            now = proc.engine.now
+            self._flow.observe_latency_us((now - write_start) / 1e6, now)
+            self._flow.goodput(len(data))
         yield from proc.compute_us(self.cal.tcp_sync_write_us)
 
     def read(self, proc: "Process", n: int) -> Generator:
@@ -268,6 +281,9 @@ class TcpConnection:
                     out += mem.read(sh.buf_base, take - first)
                 sh.read_count = (sh.read_count + take) & MASK32
                 sh.lib_busy = 0
+                if self.tel.enabled:
+                    # receiver-side goodput: bytes delivered to the app
+                    self._flow.goodput(take)
                 if not self.in_place and self.handler_mode is None:
                     # the read-interface copy into application data
                     # structures (skipped "in place", and when a handler
@@ -326,6 +342,15 @@ class TcpConnection:
         err.flow = flow
         err.tcb_final = final
         err.tcb_blob = tcb.shared.snapshot()
+        if self.tel.enabled:
+            now = self.kernel.engine.now
+            self._flow.abort(now)
+            self.tel.flight.record(
+                "protocol_error", now, conn=self.name, where=where,
+                flow=self._flow.label,
+            )
+            self.tel.flight.dump("protocol_error", now, conn=self.name,
+                                 where=where)
         return err
 
     def linger(self, proc: "Process", duration_us: float = 100_000.0) -> Generator:
@@ -431,6 +456,8 @@ class TcpConnection:
         cal = self.cal
         mem = self.kernel.node.memory
         sh.lib_busy = 1
+        tracker = self.tel.spans
+        prev_active = tracker.active
         try:
             # fast substrate: raw is a zero-copy view of the receive
             # buffer; everything parsed from it is consumed (written
@@ -439,8 +466,13 @@ class TcpConnection:
             span = desc.meta.get("span")
             if span is not None:
                 span.stage("tcp_segment", proc.engine.now)
+                # while this segment is being processed it is the node's
+                # active delivery: ACKs and replies sent from here carry
+                # its causal lineage in their trace context
+                tracker.active = span
             if self.tel.enabled:
                 self.tel.counter("tcp.rx_segments", conn=self.name).inc()
+                self._flow.rx_segment(ip_len)
                 self.kernel.node.trace(
                     "tcp.rx_segment", lambda: {"conn": self.name, "len": ip_len}
                 )
@@ -478,10 +510,12 @@ class TcpConnection:
                     if self.tel.enabled:
                         self.tel.counter("tcp.checksum_failures",
                                          conn=self.name).inc()
+                        self._flow.loss(proc.engine.now)
                     return
 
             yield from self._segment_arrived(proc, seg)
         finally:
+            tracker.active = prev_active
             sh.lib_busy = 0
             yield from self.kernel.sys_replenish(proc, self.endpoint, desc)
 
@@ -557,6 +591,7 @@ class TcpConnection:
                     if self.tel.enabled:
                         self.tel.counter("tcp.fast_retransmits",
                                          conn=self.name).inc()
+                        self._flow.retransmit(proc.engine.now)
                     rseq, rpayload = self._unacked[0]
                     yield from self._send_data(
                         proc, rpayload, push=True, seq=rseq, rexmit=True
@@ -640,6 +675,7 @@ class TcpConnection:
         frame = self.stack.frame_for(self.tcb.remote_ip, packet, self._dst_mac)
         if self.tel.enabled:
             self.tel.counter("tcp.tx_segments", conn=self.name).inc()
+            self._flow.tx_segment(len(packet))
             self.kernel.node.trace(
                 "tcp.tx_segment", lambda: {"conn": self.name, "len": len(packet)}
             )
@@ -723,6 +759,7 @@ class TcpConnection:
         self.tcb.retransmits += 1
         if self.tel.enabled:
             self.tel.counter("tcp.retransmits", conn=self.name).inc()
+            self._flow.retransmit(proc.engine.now)
         for seq, payload in list(self._unacked):
             yield from self._send_data(
                 proc, payload, push=True, seq=seq, rexmit=True

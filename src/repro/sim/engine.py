@@ -365,6 +365,10 @@ class Engine:
             CalendarQueue() if self.substrate == "fast" else HeapEventQueue()
         )
         self._crashes: list[tuple[SimProcess, BaseException]] = []
+        #: monotonic trace-id mint (telemetry trace context).  Lives on
+        #: the engine so ids are unique across every node sharing the
+        #: clock, and reset with it: identical runs mint identical ids.
+        self.trace_seq = 0
         # scheduling statistics (see stats())
         self._scheduled = 0
         self._fired = 0
@@ -383,6 +387,12 @@ class Engine:
     def now(self) -> int:
         """Current simulation time in integer ticks (picoseconds)."""
         return self._now
+
+    def next_trace_id(self) -> int:
+        """Mint a run-unique message trace id (telemetry sidecar only:
+        ids never feed back into scheduling, costs or wire contents)."""
+        self.trace_seq += 1
+        return self.trace_seq
 
     # -- event construction --------------------------------------------
     def event(self, name: str = "") -> Event:

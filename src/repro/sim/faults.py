@@ -544,6 +544,7 @@ class FaultPlane:
         tel = self.telemetry
         if tel is not None and tel.enabled:
             tel.counter("faults.injected", kind=kind, site=site).inc()
+            tel.flight.record("fault", self.engine.now, fault=kind, site=site)
 
     def ledger(self) -> dict[str, int]:
         """Deterministic count of injected faults by kind — part of the

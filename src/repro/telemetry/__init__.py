@@ -35,17 +35,22 @@ from .export import (
     to_chrome_trace,
     write_json,
 )
+from .flightrec import FLIGHT_SCHEMA, FLIGHT_SCHEMA_VERSION, FlightRecorder
 from .hub import Telemetry
 from .metrics import (
     BYTE_BUCKETS,
     CYCLE_BUCKETS,
+    LOG2_US_BUCKETS,
     US_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    hist_quantile,
 )
+from .slo import FlowStats, SloRule, SloTracker, flow_label
 from .spans import MAX_RETAINED, STAGES, Span, SpanTracker, span_of
+from .tracecontext import TRACE_KEY, adopt_rx_context, attach_tx_context
 
 __all__ = [
     "Telemetry",
@@ -60,9 +65,21 @@ __all__ = [
     "SCHEMA",
     "SCHEMA_VERSION",
     "CHROME_SCHEMA",
+    "FLIGHT_SCHEMA",
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightRecorder",
+    "SloRule",
+    "SloTracker",
+    "FlowStats",
+    "flow_label",
+    "TRACE_KEY",
+    "attach_tx_context",
+    "adopt_rx_context",
     "US_BUCKETS",
     "CYCLE_BUCKETS",
     "BYTE_BUCKETS",
+    "LOG2_US_BUCKETS",
+    "hist_quantile",
     "MAX_RETAINED",
     "node_snapshot",
     "merge_snapshots",
@@ -125,6 +142,15 @@ class Session:
 
     def export_chrome(self) -> dict:
         return to_chrome_trace(self.telemetries)
+
+    def export_postmortems(self) -> list[dict]:
+        """Every flight-recorder post-mortem dumped during the session,
+        in node order (empty if nothing failed)."""
+        out: list[dict] = []
+        for tel in self.telemetries:
+            if tel._flight is not None:
+                out.extend(tel._flight.postmortems)
+        return out
 
 
 @contextlib.contextmanager

@@ -41,7 +41,7 @@ CHROME_SCHEMA = "repro-telemetry-chrome"
 
 def node_snapshot(tel: "Telemetry", include_span_events: bool = True) -> dict:
     """One node's full telemetry state as a JSON-serializable dict."""
-    return {
+    out = {
         "schema": SCHEMA,
         "version": SCHEMA_VERSION,
         "source": tel.source,
@@ -50,11 +50,32 @@ def node_snapshot(tel: "Telemetry", include_span_events: bool = True) -> dict:
         "metrics": tel.registry.snapshot(),
         "spans": tel.spans.snapshot(include_events=include_span_events),
     }
+    # optional blocks: only nodes that touched the subsystem carry them
+    if tel._slo is not None:
+        out["slo"] = tel._slo.snapshot()
+    if tel._flight is not None:
+        out["flight"] = tel._flight.snapshot()
+    return out
 
 
 def merge_snapshots(snaps: Iterable[dict]) -> dict:
-    """The multi-node envelope benchmarks write as their sidecar."""
+    """The multi-node envelope benchmarks write as their sidecar.
+
+    Refuses to merge snapshots from different schema versions: a silent
+    mixed-version envelope would validate as whichever version the
+    outer document claims while half its nodes mean something else.
+    """
     nodes = list(snaps)
+    for i, node in enumerate(nodes):
+        schema = node.get("schema")
+        version = node.get("version")
+        if schema != SCHEMA or version != SCHEMA_VERSION:
+            raise ValueError(
+                f"schema-version skew: node[{i}] "
+                f"({node.get('source', '?')!r}) carries "
+                f"{schema!r} v{version!r}, this exporter writes "
+                f"{SCHEMA!r} v{SCHEMA_VERSION!r}"
+            )
     return {
         "schema": SCHEMA,
         "version": SCHEMA_VERSION,
@@ -73,6 +94,13 @@ def to_chrome_trace(tels: Iterable["Telemetry"]) -> dict:
     its stages rendered as complete ("ph": "X") slices spanning the time
     since the previous stage.  Timestamps are microseconds, as the
     format requires.
+
+    Trace context stitches the nodes together: every transmitted
+    message emits a flow start (``ph:"s"``) on its sender — bound to
+    the delivering span when the message was a reply, to the node
+    otherwise — and a flow finish (``ph:"f"``) on the receiver span
+    that adopted the same trace id, so chrome://tracing draws the
+    cross-node causal arrows.
     """
     events: list[dict] = []
     for pid, tel in enumerate(tels, start=1):
@@ -98,6 +126,38 @@ def to_chrome_trace(tels: Iterable["Telemetry"]) -> dict:
                              "outcome": span.outcome or "open"},
                 })
                 prev = at
+            if span.trace_id is not None:
+                events.append({
+                    "name": "msg",
+                    "cat": "flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": span.trace_id,
+                    "pid": pid,
+                    "tid": span.span_id,
+                    "ts": span.start / 1e6,
+                    "args": {"from": span.trace_src},
+                })
+            for trace_id, at in span.emits:
+                events.append({
+                    "name": "msg",
+                    "cat": "flow",
+                    "ph": "s",
+                    "id": trace_id,
+                    "pid": pid,
+                    "tid": span.span_id,
+                    "ts": at / 1e6,
+                })
+        for trace_id, at in tel.spans.tx_flows:
+            events.append({
+                "name": "msg",
+                "cat": "flow",
+                "ph": "s",
+                "id": trace_id,
+                "pid": pid,
+                "tid": 0,
+                "ts": at / 1e6,
+            })
         tracer = tel.tracer
         if tracer is not None:
             for rec in tracer.records:

@@ -47,6 +47,10 @@ class Telemetry:
             enabled = _default_enabled()
         self.registry = MetricsRegistry(enabled=enabled)
         self.spans = SpanTracker(self)
+        # SLO tracker and flight recorder are created on first touch so
+        # nodes that never see a flow or a failure stay lean
+        self._slo = None
+        self._flight = None
         _register(self)
 
     # -- switching -----------------------------------------------------
@@ -59,6 +63,25 @@ class Telemetry:
 
     def disable(self) -> None:
         self.registry.enabled = False
+
+    # -- lazy subsystems -----------------------------------------------
+    @property
+    def slo(self):
+        """The per-flow SLO tracker (created on first access)."""
+        if self._slo is None:
+            from .slo import SloTracker
+
+            self._slo = SloTracker(self)
+        return self._slo
+
+    @property
+    def flight(self):
+        """The crash-surviving flight recorder (created on first access)."""
+        if self._flight is None:
+            from .flightrec import FlightRecorder
+
+            self._flight = FlightRecorder(self)
+        return self._flight
 
     # -- instrument shortcuts ------------------------------------------
     def counter(self, name: str, **labels) -> Counter:

@@ -14,6 +14,7 @@ produce byte-identical snapshots.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Optional, Sequence
 
 __all__ = [
@@ -24,6 +25,8 @@ __all__ = [
     "US_BUCKETS",
     "CYCLE_BUCKETS",
     "BYTE_BUCKETS",
+    "LOG2_US_BUCKETS",
+    "hist_quantile",
 ]
 
 #: default buckets for microsecond latencies (upper bounds; +inf implied)
@@ -40,6 +43,32 @@ CYCLE_BUCKETS: tuple[float, ...] = (
 BYTE_BUCKETS: tuple[float, ...] = (
     16, 64, 256, 1024, 1500, 4096, 8192, 16384, 65536,
 )
+
+#: deterministic log2 buckets for per-flow latencies (1us .. ~1s); the
+#: fixed geometric ladder makes p50/p99/p999 derivable from any
+#: snapshot with bounded relative error, independent of the workload
+LOG2_US_BUCKETS: tuple[float, ...] = tuple(float(1 << i) for i in range(21))
+
+
+def hist_quantile(data: dict, q: float) -> float:
+    """Estimate the ``q``-quantile from a histogram snapshot dict.
+
+    Works on the exported shape (``buckets`` ends with ``+inf``): the
+    answer is the upper bound of the bucket where the cumulative count
+    crosses ``q * count`` (the recorded ``max`` for the overflow
+    bucket), so it is an upper-bound estimate with one-bucket
+    resolution.  Returns 0.0 for an empty histogram.
+    """
+    total = data["count"]
+    if not total:
+        return 0.0
+    need = q * total
+    cum = 0
+    for bound, n in zip(data["buckets"], data["counts"]):
+        cum += n
+        if cum >= need and n:
+            return data["max"] if bound == float("inf") else bound
+    return data["max"]
 
 
 def _label_key(labels: dict) -> tuple:
@@ -131,12 +160,9 @@ class Histogram(_Instrument):
     def observe(self, v) -> None:
         if not self.registry.enabled:
             return
-        i = 0
-        for bound in self.buckets:
-            if v <= bound:
-                break
-            i += 1
-        self.counts[i] += 1
+        # bisect_left finds the first bound >= v: same bucket the old
+        # linear scan picked, in O(log n); past-the-end is the overflow
+        self.counts[bisect_left(self.buckets, v)] += 1
         self.sum += v
         self.count += 1
         if v > self.max:
@@ -146,9 +172,16 @@ class Histogram(_Instrument):
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile (see hist_quantile)."""
+        return hist_quantile(self._data(), q)
+
     def _data(self) -> dict:
+        # the overflow bucket is explicit: the exported bounds end with
+        # +inf and len(buckets) == len(counts), so consumers never have
+        # to special-case a trailing implicit bucket
         return {
-            "buckets": list(self.buckets),
+            "buckets": list(self.buckets) + [float("inf")],
             "counts": list(self.counts),
             "sum": self.sum,
             "count": self.count,

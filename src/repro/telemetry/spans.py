@@ -49,7 +49,8 @@ MAX_RETAINED = 20_000
 class Span:
     """One message's trip through the node."""
 
-    __slots__ = ("span_id", "name", "start", "events", "outcome")
+    __slots__ = ("span_id", "name", "start", "events", "outcome",
+                 "trace_id", "trace_src", "emits")
 
     def __init__(self, span_id: int, name: str, start: int):
         self.span_id = span_id
@@ -57,6 +58,14 @@ class Span:
         self.start = start
         self.events: list[tuple[str, int]] = []
         self.outcome: Optional[str] = None
+        #: trace context adopted from the incoming frame (cross-node
+        #: stitching: the sender minted this id at transmit time)
+        self.trace_id: Optional[int] = None
+        self.trace_src: Optional[str] = None
+        #: trace ids of frames transmitted while this span was the
+        #: node's active delivery, with their tx times — the causal
+        #: request -> reply edges
+        self.emits: list[tuple[int, int]] = []
 
     @property
     def finished(self) -> bool:
@@ -76,13 +85,19 @@ class Span:
         return self.events[-1][1] - self.start
 
     def snapshot(self) -> dict:
-        return {
+        out = {
             "id": self.span_id,
             "name": self.name,
             "start_ps": self.start,
             "outcome": self.outcome,
             "events": [[s, t] for s, t in self.events],
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+            out["trace_src"] = self.trace_src
+        if self.emits:
+            out["emits"] = [[tid, t] for tid, t in self.emits]
+        return out
 
 
 def span_of(desc) -> Optional[Span]:
@@ -99,6 +114,14 @@ class SpanTracker:
         self.dropped = 0
         self.finished = 0
         self._next_id = 1
+        #: the span of the message this node is currently delivering
+        #: (set by the kernel around _deliver and by protocol libraries
+        #: around segment processing) so transmit paths can attribute
+        #: outgoing trace ids to their causal parent
+        self.active: Optional[Span] = None
+        #: flow starts with no active span (a fresh app-initiated send):
+        #: (trace_id, tx_time) pairs, rendered on the node's tid 0
+        self.tx_flows: list[tuple[int, int]] = []
 
     def begin(self, name: str, t: int) -> Span:
         span = Span(self._next_id, name, t)
@@ -108,6 +131,20 @@ class SpanTracker:
         else:
             self.dropped += 1
         return span
+
+    def note_tx_flow(self, trace_id: int, t: int) -> None:
+        """Record one outgoing message's flow start on this node.
+
+        Attributed to the active span when there is one (the message is
+        causally a reply); otherwise to the node itself (tid 0).
+        """
+        span = self.active
+        if span is not None and not span.finished:
+            span.emits.append((trace_id, t))
+        elif len(self.tx_flows) < MAX_RETAINED:
+            self.tx_flows.append((trace_id, t))
+        else:
+            self.dropped += 1
 
     def finish(self, span: Span, t: int, outcome: str = "done") -> None:
         """Close the span; safe to call twice (the first outcome wins)."""
@@ -126,6 +163,8 @@ class SpanTracker:
             reg.histogram("stage.latency_us", buckets=US_BUCKETS,
                           stage=stage).observe((at - prev) / 1e6)
             prev = at
+        tel.flight.record("span", t, name=span.name, outcome=outcome,
+                          trace=span.trace_id)
 
     def open_spans(self) -> list[Span]:
         return [s for s in self.spans if not s.finished]

@@ -1,0 +1,63 @@
+"""Cross-node trace context: message ids riding frames as sidecar data.
+
+The paper's tables measure one node at a time; stitching a *causal*
+cross-node timeline needs the sender's identity to travel with the
+message.  This module does that without perturbing the simulation:
+
+* a **trace id** is minted per transmitted frame from the engine's
+  monotonic counter (`Engine.next_trace_id`), so ids are run-unique and
+  identical runs mint identical ids;
+* the context rides in ``Frame.meta`` — a sidecar dict that never
+  contributes to ``len(frame)``, serialization time, checksums or any
+  modelled cost.  Fault-plane frame clones copy ``meta``, so impaired /
+  duplicated frames keep their lineage;
+* everything here runs **only when the node's telemetry hub is
+  enabled**: with telemetry off, no context is attached and simulated
+  results are bit-identical (the invariant the determinism tests pin).
+
+At transmit time the context is attributed to the node's *active span*
+(the message currently being delivered) when there is one, which gives
+``to_chrome_trace`` the request -> reply edge; at receive time the rx
+span adopts the frame's context, which gives the sender -> receiver
+edge.  Both are rendered as Chrome flow events (``ph:"s"``/``"f"``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.link import Frame
+    from ..sim.engine import Engine
+    from .hub import Telemetry
+    from .spans import Span
+
+__all__ = ["TRACE_KEY", "attach_tx_context", "adopt_rx_context"]
+
+#: the Frame.meta / RxDescriptor.meta key the context rides under
+TRACE_KEY = "trace"
+
+
+def attach_tx_context(tel: "Telemetry", engine: "Engine",
+                      frame: "Frame") -> None:
+    """Stamp an outgoing frame with a fresh trace context.
+
+    Callers gate on ``tel.enabled``.  A frame that already carries a
+    context (an impairment-duplicated clone) keeps it — the duplicate
+    is the *same* wire message, not a new causal event.
+    """
+    if TRACE_KEY in frame.meta:
+        return
+    trace_id = engine.next_trace_id()
+    frame.meta[TRACE_KEY] = {"id": trace_id, "src": tel.source}
+    tel.spans.note_tx_flow(trace_id, engine.now)
+
+
+def adopt_rx_context(tel: "Telemetry", frame: "Frame",
+                     span: Optional["Span"]) -> None:
+    """Bind a received frame's trace context to its rx span."""
+    ctx = frame.meta.get(TRACE_KEY)
+    if ctx is None or span is None:
+        return
+    span.trace_id = ctx["id"]
+    span.trace_src = ctx["src"]

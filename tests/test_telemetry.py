@@ -368,3 +368,141 @@ class TestSession:
             tel = Telemetry(engine, source="n")
         assert not tel.enabled
         assert sess.telemetries == []
+
+
+# ---------------------------------------------------------------------------
+# histogram mechanics, span retention, mid-run enable flips
+# ---------------------------------------------------------------------------
+
+class TestHistogramBuckets:
+    def test_bisect_bucketing_matches_upper_bound_semantics(self):
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram("lat", buckets=(1, 10, 100))
+        for v in (0.5, 1, 1.01, 10, 99, 100, 100.01, 5000):
+            h.observe(v)
+        # bounds are upper-inclusive; past the last bound -> overflow
+        assert h.counts == [2, 2, 2, 2]
+
+    def test_exported_shape_has_explicit_inf_overflow(self):
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram("lat", buckets=(1, 10, 100))
+        h.observe(12345)
+        data = h.snapshot()
+        assert data["buckets"] == [1, 10, 100, float("inf")]
+        assert len(data["buckets"]) == len(data["counts"])
+        assert data["counts"][-1] == 1
+
+    def test_quantiles_from_snapshot(self):
+        from repro.telemetry import LOG2_US_BUCKETS, hist_quantile
+
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram("lat", buckets=LOG2_US_BUCKETS)
+        for v in range(1, 101):  # 1..100 us, uniform
+            h.observe(float(v))
+        data = h.snapshot()
+        assert hist_quantile(data, 0.5) == 64.0      # 2^6 covers 33..64
+        assert hist_quantile(data, 0.99) == 128.0
+        assert h.quantile(0.5) == 64.0
+        assert hist_quantile({"count": 0, "buckets": [], "counts": [],
+                              "max": 0}, 0.5) == 0.0
+
+    def test_overflow_quantile_reports_observed_max(self):
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram("lat", buckets=(1, 2))
+        h.observe(500.0)
+        assert h.quantile(0.5) == 500.0  # +inf bucket -> recorded max
+
+
+class TestSpanRetention:
+    def test_max_retained_keeps_oldest_drops_newest(self, monkeypatch):
+        """The retention policy is retain-first/drop-newest: the spans
+        list is the *head* of the run, later spans only bump counters.
+        (Head retention keeps startup behaviour — the part that never
+        re-occurs — while steady state is summarized by histograms.)"""
+        from repro.telemetry import spans as spans_mod
+
+        monkeypatch.setattr(spans_mod, "MAX_RETAINED", 3)
+        tel = Telemetry(Engine(), source="n", enabled=True)
+        tracker = tel.spans
+        for i in range(5):
+            span = tracker.begin(f"s{i}", i)
+            tracker.finish(span, i + 1)
+        assert [s.name for s in tracker.spans] == ["s0", "s1", "s2"]
+        assert tracker.dropped == 2
+        assert tracker.finished == 5  # counting never stops
+        snap = tracker.snapshot()
+        assert snap["created"] == 5 and snap["dropped"] == 2
+
+    def test_tx_flow_retention_mirrors_span_policy(self, monkeypatch):
+        from repro.telemetry import spans as spans_mod
+
+        monkeypatch.setattr(spans_mod, "MAX_RETAINED", 2)
+        tel = Telemetry(Engine(), source="n", enabled=True)
+        tracker = tel.spans
+        for i in range(4):
+            tracker.note_tx_flow(trace_id=i + 1, t=i)
+        assert tracker.tx_flows == [(1, 0), (2, 1)]
+        assert tracker.dropped == 2
+
+
+class TestEnableFlipMidRun:
+    def test_cached_instruments_survive_disable_enable(self):
+        """Call sites cache instruments at setup; flipping the shared
+        ``enabled`` flag must stop/resume recording through those same
+        objects without invalidating them."""
+        reg = MetricsRegistry(enabled=True)
+        c = reg.counter("rx")
+        g = reg.gauge("depth")
+        h = reg.histogram("lat", buckets=(1, 10))
+        c.inc(2); g.set(5); h.observe(3)
+
+        reg.enabled = False
+        c.inc(100); g.set(100); h.observe(100)
+        assert c.value == 2 and g.value == 5
+        assert h.count == 1
+
+        reg.enabled = True
+        c.inc(); g.add(1); h.observe(0.5)
+        assert c.value == 3 and g.value == 6
+        assert h.count == 2 and h.counts[0] == 1
+        # the registry still hands back the very same objects
+        assert reg.counter("rx") is c
+        assert reg.histogram("lat") is h
+
+    def test_hub_flip_gates_flows_and_flight_recorder(self):
+        tel = Telemetry(Engine(), source="n", enabled=True)
+        stats = tel.slo.flow((1, 2, 3, 4))
+        stats.goodput(10)
+        tel.flight.record("tick", 1)
+        tel.disable()
+        stats.goodput(100)          # same cached FlowStats object
+        tel.flight.record("tick", 2)
+        tel.enable()
+        stats.goodput(1)
+        tel.flight.record("tick", 3)
+        assert tel.registry.value(
+            "flow.goodput_bytes", flow=stats.label) == 11
+        assert [e["t"] for e in tel.flight.events] == [1, 3]
+
+
+class TestMergeSkew:
+    def test_merge_rejects_schema_version_skew(self):
+        from repro.telemetry.export import merge_snapshots
+
+        engine = Engine()
+        good = Telemetry(engine, source="a", enabled=True).snapshot()
+        stale = Telemetry(engine, source="b", enabled=True).snapshot()
+        stale["version"] = 99
+        merge_snapshots([good])  # same-version merge is fine
+        with pytest.raises(ValueError) as exc:
+            merge_snapshots([good, stale])
+        # the error names the offending node and both versions
+        assert "node[1]" in str(exc.value) and "'b'" in str(exc.value)
+        assert "v99" in str(exc.value)
+
+    def test_merge_rejects_foreign_schema(self):
+        from repro.telemetry.export import merge_snapshots
+
+        alien = {"schema": "someone-elses", "version": SCHEMA_VERSION}
+        with pytest.raises(ValueError, match="schema-version skew"):
+            merge_snapshots([alien])
