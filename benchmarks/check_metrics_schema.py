@@ -64,6 +64,16 @@ KNOWN_METRICS = {
     "datapath.pktbuf.reused": "counters",
     "datapath.pktbuf.in_flight": "gauges",
     "datapath.pktbuf.free": "gauges",
+    # receive-side scaling dispatch stage (hw/nic/rss.py)
+    "rss.steered": "counters",
+    "rss.migrations": "counters",
+    "rss.flows": "gauges",
+    # per-core rx rings + batched NIC→kernel handoff
+    # (hw/nic/base.py publish_telemetry, kernel/kernel.py _rx_drain)
+    "core.ring_depth": "gauges",
+    "core.ring_peak_depth": "gauges",
+    "core.rx_batches": "counters",
+    "core.batch_frames": "histograms",
     # kernel receive path (kernel/kernel.py)
     "kernel.rx_interrupts": "counters",
     "kernel.demux_misses": "counters",

@@ -140,7 +140,7 @@ def build_handler_env(
         if ep is not None:
             ep.ring.put(AshNotification(mode))
             if ep.owner is not None:
-                kernel.scheduler.on_packet(ep.owner)
+                kernel.schedulers[ep.owner.core].on_packet(ep.owner)
         return 0, cal.us_to_cycles(cal.ash_notify_us)
 
     return {

@@ -304,7 +304,8 @@ class AshSystem:
         entry = self.entry(ep.ash_id)
         entry.invocations += 1
         kernel = self.kernel
-        cpu = kernel.node.cpu
+        # the handler runs on whichever core RSS steered the frame to
+        cpu = kernel.node.cpus[desc.core]
         cal = self.cal
         tel = kernel.node.telemetry
         span = desc.meta.get("span")
@@ -386,7 +387,8 @@ class AshSystem:
                                 handler=handler_name)
             return False
 
-        yield from kernel.charge_with_sends(result, pending, PRIO_INTERRUPT)
+        yield from kernel.charge_with_sends(result, pending, PRIO_INTERRUPT,
+                                            cpu=cpu)
         if uses_timer:
             yield from cpu.exec_us(cal.ash_timer_clear_us, PRIO_INTERRUPT)
         remaining = entry.account.charge(result.cycles)

@@ -85,6 +85,8 @@ class Testbed:
         for node in (self.client, self.server):
             if node.pktpool is not None:
                 node.pktpool.publish_telemetry(node.telemetry)
+            for nic in node.nics.values():
+                nic.publish_telemetry(node.telemetry)
         if self.fault_plane is not None:
             self.fault_plane.publish_telemetry()
 
@@ -96,6 +98,8 @@ def make_an2_pair(
     mem_size: int = 16 * 1024 * 1024,
     engine: Optional[Engine] = None,
     name_prefix: str = "",
+    ncores: int = 1,
+    rx_batch: Optional[int] = None,
 ) -> Testbed:
     """Two DECstations joined by the AN2 switch.
 
@@ -105,12 +109,12 @@ def make_an2_pair(
     """
     if engine is None:
         engine = Engine()
-    client = Node(engine, f"{name_prefix}client", cal, mem_size=mem_size)
-    server = Node(engine, f"{name_prefix}server", cal, mem_size=mem_size)
-    client_nic = An2Nic(engine, cal, client.memory, "an2")
-    server_nic = An2Nic(engine, cal, server.memory, "an2")
-    client.add_nic(client_nic)
-    server.add_nic(server_nic)
+    client = Node(engine, f"{name_prefix}client", cal, mem_size=mem_size,
+                  ncores=ncores, rx_batch=rx_batch)
+    server = Node(engine, f"{name_prefix}server", cal, mem_size=mem_size,
+                  ncores=ncores, rx_batch=rx_batch)
+    client_nic = client.add_nic(An2Nic(engine, cal, client.memory, "an2"))
+    server_nic = server.add_nic(An2Nic(engine, cal, server.memory, "an2"))
     link = Link(
         engine,
         rate_bytes_per_s=cal.an2_rate_bytes_per_s,
@@ -131,16 +135,18 @@ def make_eth_pair(
     mem_size: int = 16 * 1024 * 1024,
     engine: Optional[Engine] = None,
     name_prefix: str = "",
+    ncores: int = 1,
+    rx_batch: Optional[int] = None,
 ) -> Testbed:
     """Two DECstations on the 10 Mb/s Ethernet."""
     if engine is None:
         engine = Engine()
-    client = Node(engine, f"{name_prefix}client", cal, mem_size=mem_size)
-    server = Node(engine, f"{name_prefix}server", cal, mem_size=mem_size)
-    client_nic = EthernetNic(engine, cal, client.memory, "eth")
-    server_nic = EthernetNic(engine, cal, server.memory, "eth")
-    client.add_nic(client_nic)
-    server.add_nic(server_nic)
+    client = Node(engine, f"{name_prefix}client", cal, mem_size=mem_size,
+                  ncores=ncores, rx_batch=rx_batch)
+    server = Node(engine, f"{name_prefix}server", cal, mem_size=mem_size,
+                  ncores=ncores, rx_batch=rx_batch)
+    client_nic = client.add_nic(EthernetNic(engine, cal, client.memory, "eth"))
+    server_nic = server.add_nic(EthernetNic(engine, cal, server.memory, "eth"))
     link = Link(
         engine,
         rate_bytes_per_s=cal.eth_rate_bytes_per_s,

@@ -3,6 +3,7 @@
 from .base import Nic, RxDescriptor
 from .an2 import An2Nic, VcBinding
 from .ethernet import EthernetNic, STRIPE_CHUNK, stripe_offset, striped_size
+from .rss import RssDispatcher, flow_key, fnv1a32
 
 __all__ = [
     "Nic",
@@ -13,4 +14,7 @@ __all__ = [
     "STRIPE_CHUNK",
     "stripe_offset",
     "striped_size",
+    "RssDispatcher",
+    "flow_key",
+    "fnv1a32",
 ]

@@ -9,6 +9,7 @@ software costs.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, TYPE_CHECKING
 
@@ -16,9 +17,11 @@ from ...sim.engine import Engine
 from ...telemetry.tracecontext import adopt_rx_context, attach_tx_context
 from ..calibration import Calibration
 from ..link import Frame, Link
+from .rss import RssDispatcher
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..memory import PhysicalMemory
+    from ..node import Node
 
 __all__ = ["RxDescriptor", "PacketBuf", "PacketBufPool", "Nic"]
 
@@ -36,6 +39,7 @@ class RxDescriptor:
     dma_span: int = 0      #: bytes of memory the DMA engine occupied
                            #: (striped layouts occupy more than ``length``)
     buf: Optional["PacketBuf"] = None  #: pooled window over the DMA span
+    core: int = 0          #: cpu the RSS dispatch stage steered this to
     meta: dict[str, Any] = field(default_factory=dict)
 
 
@@ -148,11 +152,28 @@ class Nic:
         self.link_end: int = 0
         #: the kernel installs this; called with an RxDescriptor
         self.rx_callback: Optional[Callable[[RxDescriptor], None]] = None
-        #: the owning node installs its telemetry hub in ``add_nic``
+        #: the kernel installs this on SMP nodes; called with
+        #: ``(nic, core)`` after a descriptor lands on a per-core ring
+        self.rx_kick: Optional[Callable[["Nic", int], None]] = None
+        #: the owning node, installed by :meth:`bind` (via ``add_nic``);
+        #: a standalone NIC (unit tests) keeps None and runs untelemetered
+        self.node: Optional["Node"] = None
+        #: the owning node's telemetry hub, installed by :meth:`bind`
         self.telemetry = None
-        #: the owning node installs its PacketBufPool in ``add_nic``
+        #: the owning node's PacketBufPool, installed by :meth:`bind`
         #: (fast substrate only; None keeps the legacy bytes path)
         self.pktpool: Optional[PacketBufPool] = None
+        # -- receive-side scaling (re-homed by bind on SMP nodes) -------
+        self.ncores = 1
+        #: frames drained per kernel handoff (bind copies the node's)
+        self.rx_batch = 1
+        #: True once descriptors go through per-core rings + rx_kick
+        #: instead of one rx_callback event per frame
+        self.batched = False
+        self.rx_rings: list[deque] = [deque()]
+        self.ring_peaks: list[int] = [0]
+        #: the dispatch stage; created at bind, replaceable via set_rss
+        self.rss: Optional[RssDispatcher] = None
         self.rx_frames = 0
         self.tx_frames = 0
         self.rx_dropped = 0
@@ -167,6 +188,61 @@ class Nic:
         self.stress = None
         #: subclasses set this before returning None from _dma
         self._drop_reason = "no_buffer"
+
+    def bind(self, node: "Node") -> "Nic":
+        """Adopt the owning node's telemetry, packet pool and topology.
+
+        One atomic step (called by ``Node.add_nic``) instead of the old
+        post-hoc attribute pokes, so a NIC can never run half-configured:
+        either it is bound — telemetry, pool, rings and RSS all wired —
+        or it is a deliberately standalone unit-test device.
+        """
+        if self.node is node:
+            return self
+        if self.node is not None:
+            raise RuntimeError(
+                f"{self.name}: already bound to node {self.node.name}"
+            )
+        if node.memory is not self.memory:
+            raise RuntimeError(
+                f"{self.name}: constructed over a different memory than "
+                f"node {node.name}'s"
+            )
+        if self.tx_frames or self.rx_frames:
+            # the failure mode bind exists to kill: a NIC that carried
+            # traffic before attach silently ran with telemetry=None
+            raise RuntimeError(
+                f"{self.name}: carried traffic ({self.tx_frames} tx / "
+                f"{self.rx_frames} rx frames) before being bound to "
+                f"{node.name} — bind the NIC before attaching workloads"
+            )
+        self.node = node
+        self.telemetry = node.telemetry
+        self.pktpool = node.pktpool
+        self.ncores = node.ncores
+        self.rx_batch = node.rx_batch
+        # single-core nodes keep the direct one-event-per-frame handoff
+        # (identical event schedule to the pre-SMP kernel) unless the
+        # node explicitly asked for batching
+        self.batched = node.ncores > 1 or node.rx_batch_opt is not None
+        self.rx_rings = [deque() for _ in range(self.ncores)]
+        self.ring_peaks = [0] * self.ncores
+        if self.rss is None:
+            self.rss = RssDispatcher(
+                self.ncores, telemetry=self.telemetry, nic_name=self.name
+            )
+        else:  # installed before bind: re-home it
+            self.rss.rebind(self.ncores, telemetry=self.telemetry,
+                            nic_name=self.name)
+        return self
+
+    def set_rss(self, dispatcher: RssDispatcher) -> RssDispatcher:
+        """Install an application-defined dispatch stage (pluggable the
+        way a DPF filter is: policy from above, mechanism stays here)."""
+        dispatcher.rebind(self.ncores, telemetry=self.telemetry,
+                          nic_name=self.name)
+        self.rss = dispatcher
+        return dispatcher
 
     def attach(self, link: Link, end: int) -> None:
         self.link = link
@@ -234,8 +310,34 @@ class Nic:
             span.stage("nic_rx", now)
             adopt_rx_context(tel, frame, span)
             desc.meta["span"] = span
-        if self.rx_callback is not None:
+        # the RSS dispatch stage runs on every successfully DMA'd frame
+        # (dropped frames are never steered, so per-core steered counts
+        # always sum to rx_frames), *before* any kernel demultiplexing
+        core = self.rss.steer(desc) if self.rss is not None else 0
+        if self.batched:
+            ring = self.rx_rings[core]
+            ring.append(desc)
+            depth = len(ring)
+            if depth > self.ring_peaks[core]:
+                self.ring_peaks[core] = depth
+            if self.rx_kick is not None:
+                self.rx_kick(self, core)
+        elif self.rx_callback is not None:
             self.rx_callback(desc)
+
+    def publish_telemetry(self, hub=None) -> None:
+        """Snapshot per-core ring gauges + RSS flow table into a hub."""
+        tel = hub if hub is not None else self.telemetry
+        if tel is None or not tel.enabled:
+            return
+        for core, ring in enumerate(self.rx_rings):
+            label = str(core)
+            tel.gauge("core.ring_depth", nic=self.name, core=label) \
+                .set(len(ring))
+            tel.gauge("core.ring_peak_depth", nic=self.name, core=label) \
+                .set(self.ring_peaks[core])
+        if self.rss is not None:
+            self.rss.publish_telemetry(tel)
 
     def _dma(self, frame: Frame) -> Optional[RxDescriptor]:
         """Place the frame in memory; None means 'no buffer, drop'."""

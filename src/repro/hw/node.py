@@ -1,4 +1,4 @@
-"""A node: CPU + caches + memory + NICs, the unit a kernel runs on."""
+"""A node: CPUs + caches + memory + NICs, the unit a kernel runs on."""
 
 from __future__ import annotations
 
@@ -18,9 +18,13 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["Node"]
 
+#: frames drained per NIC→kernel handoff on multicore nodes (one
+#: interrupt amortizes the per-frame event overhead across the burst)
+DEFAULT_RX_BATCH = 8
+
 
 class Node:
-    """Hardware for one modelled DECstation 5000/240."""
+    """Hardware for one modelled DECstation 5000/240 (optionally SMP)."""
 
     def __init__(
         self,
@@ -29,7 +33,11 @@ class Node:
         cal: Calibration = DEFAULT,
         mem_size: int = 8 * 1024 * 1024,
         tracer: Optional[Tracer] = None,
+        ncores: int = 1,
+        rx_batch: Optional[int] = None,
     ):
+        if ncores < 1:
+            raise ValueError(f"{name}: need at least one core, got {ncores}")
         self.engine = engine
         self.name = name
         self.cal = cal
@@ -37,7 +45,20 @@ class Node:
         # the engine is the single source of truth for the substrate:
         # cache vectorization and the packet pool key off it together
         self.dcache = DirectMappedCache(cal, substrate=engine.substrate)
-        self.cpu = Cpu(engine, cal, name=f"{name}.cpu")
+        self.ncores = ncores
+        # core 0 keeps the historical ``<name>.cpu`` name so single-core
+        # worlds (and their pinned telemetry/trace output) are unchanged
+        self.cpus = [
+            Cpu(engine, cal, name=f"{name}.cpu" if i == 0 else f"{name}.cpu{i}")
+            for i in range(ncores)
+        ]
+        self.cpu = self.cpus[0]
+        # NIC→kernel handoff batching: single-core nodes keep the
+        # one-event-per-frame path unless a batch is requested explicitly
+        self.rx_batch_opt = rx_batch
+        self.rx_batch = rx_batch if rx_batch is not None else (
+            DEFAULT_RX_BATCH if ncores > 1 else 1
+        )
         self.tracer = tracer if tracer is not None else Tracer(engine)
         self.telemetry = Telemetry(engine, source=name, tracer=self.tracer)
         self.pktpool: Optional[PacketBufPool] = (
@@ -50,15 +71,16 @@ class Node:
         self.kernel: Optional["Kernel"] = None
 
     def add_nic(self, nic: Nic) -> Nic:
+        if self.nics.get(nic.name) is nic:
+            return nic  # idempotent re-add (bind is too)
         if nic.name in self.nics:
             raise ValueError(f"duplicate NIC name {nic.name!r} on {self.name}")
         self.nics[nic.name] = nic
-        nic.telemetry = self.telemetry
-        nic.pktpool = self.pktpool
+        nic.bind(self)
         return nic
 
     def trace(self, tag: str, payload: object = None) -> None:
         self.telemetry.trace(self.name, tag, payload)
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"<Node {self.name} nics={list(self.nics)}>"
+        return f"<Node {self.name} cores={self.ncores} nics={list(self.nics)}>"

@@ -90,9 +90,19 @@ class Kernel(SyscallInterface):
         self.engine = node.engine
         self.cal: Calibration = node.cal
         node.kernel = self
-        self.scheduler = RoundRobinScheduler(
-            self, boost_on_packet=boost_on_packet, ultrix_costs=ultrix_costs
-        )
+        #: one run queue per core; core 0 first so single-core worlds
+        #: spawn exactly the same scheduler loop they always did
+        self.schedulers = [
+            RoundRobinScheduler(
+                self, boost_on_packet=boost_on_packet,
+                ultrix_costs=ultrix_costs, core=i,
+            )
+            for i in range(node.ncores)
+        ]
+        #: round-robin core assignment cursor for new processes
+        self._next_core = 0
+        #: per-(nic, core) guard: at most one drain process outstanding
+        self._drain_pending: set[tuple[str, int]] = set()
         self.dpf = DpfEngine(self.cal, telemetry=node.telemetry)
         self.upcalls = UpcallManager(self)
         self.endpoints: list[Endpoint] = []
@@ -149,12 +159,23 @@ class Kernel(SyscallInterface):
     def _active_span(self, span) -> None:
         self.telemetry.spans.active = span
 
+    @property
+    def scheduler(self) -> RoundRobinScheduler:
+        """Core 0's scheduler (the whole kernel's, pre-SMP)."""
+        return self.schedulers[0]
+
     # -- configuration ------------------------------------------------------
     def attach_nic(self, nic: Nic) -> None:
         nic.rx_callback = self._on_rx
+        nic.rx_kick = self._on_rx_kick
 
-    def spawn_process(self, name: str, body) -> Process:
-        proc = Process(self, name, body)
+    def spawn_process(self, name: str, body, core: Optional[int] = None) -> Process:
+        """Create and start a process; ``core`` pins it, otherwise cores
+        are assigned round-robin (deterministic: spawn order decides)."""
+        if core is None:
+            core = self._next_core
+            self._next_core = (self._next_core + 1) % self.node.ncores
+        proc = Process(self, name, body, core=core)
         proc.start()
         return proc
 
@@ -369,14 +390,20 @@ class Kernel(SyscallInterface):
             self.telemetry.counter("crash.lost_messages").inc()
 
     # -- transmit ----------------------------------------------------------
-    def kernel_send(self, nic: Nic, frame: Frame) -> Generator:
-        """The in-kernel transmit path (descriptor writes + doorbell)."""
+    def kernel_send(self, nic: Nic, frame: Frame, cpu=None) -> Generator:
+        """The in-kernel transmit path (descriptor writes + doorbell).
+
+        ``cpu`` is the core doing the work (a syscall charges the
+        calling process's core); defaults to core 0.
+        """
         cost = (
             self.cal.an2_kernel_send_us
             if isinstance(nic, An2Nic)
             else self.cal.eth_tx_us
         )
-        yield from self.node.cpu.exec_us(cost, PRIO_KERNEL)
+        if cpu is None:
+            cpu = self.node.cpu
+        yield from cpu.exec_us(cost, PRIO_KERNEL)
         nic.transmit(frame)
         span = self._active_span
         if span is not None:
@@ -386,11 +413,45 @@ class Kernel(SyscallInterface):
     def _on_rx(self, desc: RxDescriptor) -> None:
         self.engine.spawn(self._rx_interrupt(desc), name="rx-intr")
 
+    def _on_rx_kick(self, nic: Nic, core: int) -> None:
+        """Batched handoff: a descriptor landed on ``nic``'s per-core rx
+        ring.  One drain process per (nic, core) is kept outstanding; a
+        kick while a drain is pending coalesces into it — that is the
+        batching (the burst amortizes per-frame event overhead)."""
+        key = (nic.name, core)
+        if key in self._drain_pending:
+            return
+        self._drain_pending.add(key)
+        self.engine.spawn(self._rx_drain(nic, core), name="rx-drain")
+
+    def _rx_drain(self, nic: Nic, core: int) -> Generator:
+        """Drain up to ``nic.rx_batch`` descriptors from one core's ring
+        through the full interrupt path, then yield the core back (a
+        fresh kick re-arms if frames keep arriving — bounded bursts, so
+        one hot ring cannot monopolize its core)."""
+        ring = nic.rx_rings[core]
+        batch = nic.rx_batch
+        drained = 0
+        try:
+            while ring and drained < batch:
+                desc = ring.popleft()
+                drained += 1
+                yield from self._rx_interrupt(desc)
+            tel = self.telemetry
+            if tel.enabled and drained:
+                tel.counter("core.rx_batches",
+                            nic=nic.name, core=str(core)).inc()
+                tel.histogram("core.batch_frames").observe(drained)
+        finally:
+            self._drain_pending.discard((nic.name, core))
+            if ring:
+                self._on_rx_kick(nic, core)
+
     def _rx_interrupt(self, desc: RxDescriptor) -> Generator:
         if self.crashed:
             self._drop_in_crash(desc)
             return
-        cpu = self.node.cpu
+        cpu = self.node.cpus[desc.core]
         cal = self.cal
         self.rx_interrupts += 1
         self._m_rx_interrupts.inc()
@@ -423,7 +484,7 @@ class Kernel(SyscallInterface):
         yield from self._deliver(ep, desc)
 
     def _deliver(self, ep: Endpoint, desc: RxDescriptor) -> Generator:
-        cpu = self.node.cpu
+        cpu = self.node.cpus[desc.core]
         cal = self.cal
         span = desc.meta.get("span")
         self._active_span = span
@@ -531,7 +592,9 @@ class Kernel(SyscallInterface):
             ep.ring.put(desc)
             self._note_delivery("ring", skips)
             if ep.owner is not None:
-                sched = self.scheduler
+                # wake on the *owner's* core: its run queue is where the
+                # boost matters, whatever core the frame was steered to
+                sched = self.schedulers[ep.owner.core]
                 if sched.boost_on_packet and sched.current is not ep.owner:
                     wake = cal.interrupt_wake_us + sched.nprocs * cal.sched_scan_us
                     if sched.ultrix_costs:
@@ -669,12 +732,14 @@ class Kernel(SyscallInterface):
 
     # -- shared handler accounting -----------------------------------------
     def charge_with_sends(
-        self, result: VmResult, pending: list[tuple[Nic, Frame]], prio: int
+        self, result: VmResult, pending: list[tuple[Nic, Frame]], prio: int,
+        cpu=None,
     ) -> Generator:
         """Charge a handler's cycles, transmitting its sends at the cycle
         offsets they occurred (so replies leave the node at the right
-        simulated time)."""
-        cpu = self.node.cpu
+        simulated time).  ``cpu`` is the core the handler ran on."""
+        if cpu is None:
+            cpu = self.node.cpu
         sends = [entry for entry in result.call_log
                  if entry[0] in ("ash_send", "net_send")]
         charged = 0
@@ -701,7 +766,10 @@ class Kernel(SyscallInterface):
             "rx_interrupts": self.rx_interrupts,
             "demux_misses": self.demux_misses,
             "ash_abort_fallbacks": self.ash_abort_fallbacks,
-            "context_switches": self.scheduler.context_switches,
+            "context_switches": sum(
+                s.context_switches for s in self.schedulers
+            ),
+            "cores": self.node.ncores,
             "crashes": self.crash_count,
             "recoveries": self.recoveries,
             "lost_messages": self.lost_messages,

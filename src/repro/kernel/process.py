@@ -48,11 +48,17 @@ class Process:
     _next_pid = 1
 
     def __init__(self, kernel: "Kernel", name: str,
-                 body: Optional[Callable[["Process"], Generator]] = None):
+                 body: Optional[Callable[["Process"], Generator]] = None,
+                 core: int = 0):
         self.kernel = kernel
         self.engine = kernel.engine
         self.cal = kernel.cal
         self.name = name
+        #: home core: the cpu charged for this process's computation and
+        #: the scheduler whose run queue it lives on
+        self.core = core
+        self.cpu = kernel.node.cpus[core]
+        self.scheduler = kernel.schedulers[core]
         self.pid = Process._next_pid
         Process._next_pid += 1
         self.state = ProcessState.READY
@@ -67,7 +73,7 @@ class Process:
         """Register with the scheduler and begin executing the body."""
         if self.body is None:
             raise ValueError(f"{self.name}: no body to run")
-        self.kernel.scheduler.add(self)
+        self.scheduler.add(self)
         self.sim_proc = self.engine.spawn(self._wrapper(), name=self.name)
         return self.sim_proc
 
@@ -77,7 +83,7 @@ class Process:
             return result
         finally:
             self.state = ProcessState.DONE
-            self.kernel.scheduler.on_exit(self)
+            self.scheduler.on_exit(self)
 
     # -- computation -------------------------------------------------------
     def compute(self, cycles: int) -> Generator[Event, Any, None]:
@@ -89,7 +95,7 @@ class Process:
         a fresh ``exec`` generator and a deeper ``yield from`` chain per
         chunk.  The yielded event sequence is identical.
         """
-        cpu = self.kernel.node.cpu
+        cpu = self.cpu
         remaining = int(cycles)
         if _COMPUTE_CHUNK_CYCLES > cpu.cal.exec_quantum_cycles:
             # oversized chunks need exec's intra-slice preemption logic
@@ -129,19 +135,19 @@ class Process:
     def syscall_enter(self) -> Generator[Event, Any, None]:
         """Cross into the kernel (charged at kernel priority)."""
         yield self.gate.wait()
-        yield from self.kernel.node.cpu.exec_us(self.cal.syscall_us, PRIO_KERNEL)
+        yield from self.cpu.exec_us(self.cal.syscall_us, PRIO_KERNEL)
 
     def syscall_exit(self) -> Generator[Event, Any, None]:
-        yield from self.kernel.node.cpu.exec_us(self.cal.syscall_us, PRIO_KERNEL)
+        yield from self.cpu.exec_us(self.cal.syscall_us, PRIO_KERNEL)
 
     # -- waiting ----------------------------------------------------------
     def block_on(self, event: Event) -> Generator[Event, Any, Any]:
         """Leave the run queue until ``event`` fires."""
         self.state = ProcessState.BLOCKED
-        self.kernel.scheduler.on_block(self)
+        self.scheduler.on_block(self)
         value = yield event
         self.state = ProcessState.READY
-        self.kernel.scheduler.on_unblock(self)
+        self.scheduler.on_unblock(self)
         yield self.gate.wait()
         return value
 

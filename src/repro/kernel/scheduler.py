@@ -37,12 +37,16 @@ class RoundRobinScheduler:
     """Time-sliced round robin with optional packet-arrival boosting."""
 
     def __init__(self, kernel: "Kernel", boost_on_packet: bool = False,
-                 ultrix_costs: bool = False):
+                 ultrix_costs: bool = False, core: int = 0):
         self.kernel = kernel
         self.engine: Engine = kernel.engine
         self.cal = kernel.cal
         self.boost_on_packet = boost_on_packet
         self.ultrix_costs = ultrix_costs
+        #: which cpu this scheduler owns (one scheduler per core; an SMP
+        #: kernel holds one instance per entry in ``node.cpus``)
+        self.core = core
+        self.cpu = kernel.node.cpus[core]
         self.ready: deque["Process"] = deque()
         self.current: Optional["Process"] = None
         self._slice_over: Optional[Event] = None
@@ -50,9 +54,13 @@ class RoundRobinScheduler:
         self._last_scheduled: Optional["Process"] = None
         self.context_switches = 0
         tel = kernel.node.telemetry
+        # shared (unlabeled) instruments: per-node totals stay comparable
+        # with the single-core era; per-core detail lives in core.*
         self._m_switches = tel.counter("sched.context_switches")
         self._m_boosts = tel.counter("sched.packet_boosts")
-        self._proc = self.engine.spawn(self._loop(), name="scheduler")
+        self._proc = self.engine.spawn(
+            self._loop(), name="scheduler" if core == 0 else f"scheduler{core}"
+        )
 
     # -- run-queue operations (called by kernel/processes) -----------------
     def add(self, proc: "Process") -> None:
@@ -115,7 +123,7 @@ class RoundRobinScheduler:
     # -- the dispatch loop ------------------------------------------------
     def _loop(self) -> Generator[Event, None, None]:
         engine = self.engine
-        cpu = self.kernel.node.cpu
+        cpu = self.cpu
         quantum_ticks = us(self.cal.quantum_us)
         while True:
             if not self.ready:

@@ -37,7 +37,7 @@ class SyscallInterface:
         if user_path:
             yield from proc.compute_us(self.cal.user_send_path_us)
         yield from proc.syscall_enter()
-        yield from self.kernel_send(nic, frame)
+        yield from self.kernel_send(nic, frame, cpu=proc.cpu)
         yield from proc.syscall_exit()
 
     def sys_recv_poll(self, proc: "Process", ep: "Endpoint") -> Generator:
@@ -76,7 +76,7 @@ class SyscallInterface:
         )
         # Verification and rewriting are download-time work; charge a
         # token amount per instruction (it is off the fast path).
-        yield from self.node.cpu.exec(2 * len(program.insns), PRIO_KERNEL)
+        yield from proc.cpu.exec(2 * len(program.insns), PRIO_KERNEL)
         yield from proc.syscall_exit()
         return ash_id
 

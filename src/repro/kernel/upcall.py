@@ -58,7 +58,7 @@ class UpcallManager:
         """Run the handler at user level; returns True if it consumed
         the message."""
         kernel = self.kernel
-        cpu = kernel.node.cpu
+        cpu = kernel.node.cpus[desc.core]
         cal = self.cal
         tel = kernel.node.telemetry
         span = desc.meta.get("span")
@@ -106,7 +106,8 @@ class UpcallManager:
             yield from cpu.exec(getattr(exc, "cycles", 0), PRIO_INTERRUPT)
             yield from cpu.exec_us(cal.upcall_return_us, PRIO_INTERRUPT)
             return False
-        yield from kernel.charge_with_sends(result, pending, PRIO_INTERRUPT)
+        yield from kernel.charge_with_sends(result, pending, PRIO_INTERRUPT,
+                                            cpu=cpu)
         yield from cpu.exec_us(cal.upcall_return_us, PRIO_INTERRUPT)
         if tel.enabled:
             tel.counter("upcall.cycles_total",

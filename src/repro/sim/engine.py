@@ -43,12 +43,22 @@ __all__ = [
     "AllOf",
     "SUBSTRATE_ENV",
     "active_substrate",
+    "DEFAULT_TIMER_HORIZON_US",
 ]
 
 #: environment variable selecting the simulation substrate
 SUBSTRATE_ENV = "REPRO_SIM_SUBSTRATE"
 
 _SUBSTRATES = ("fast", "legacy")
+
+#: Default timer horizon (µs) used to auto-size the calendar queue's
+#: bucket width: the farthest ahead the modelled protocols routinely
+#: schedule.  Anchored to TCP's worst case — ``RTO_US`` backed off by
+#: ``MAX_RTO_BACKOFF`` (50 ms × 8 = 400 ms) — with headroom; the sim
+#: layer cannot import the net layer (layering is one-way), so the
+#: constant lives here and ``tests/test_scale_smp.py`` cross-checks it
+#: against the TCP calibration to keep the two from drifting apart.
+DEFAULT_TIMER_HORIZON_US = 500_000
 
 
 def active_substrate(override: Optional[str] = None) -> str:
@@ -357,12 +367,18 @@ class Engine:
     invisible to simulated results.
     """
 
-    def __init__(self, substrate: Optional[str] = None) -> None:
+    def __init__(self, substrate: Optional[str] = None,
+                 timer_horizon_us: Optional[float] = None) -> None:
         self._now = 0
         self._seq = 0
         self.substrate = active_substrate(substrate)
+        if timer_horizon_us is None:
+            timer_horizon_us = DEFAULT_TIMER_HORIZON_US
+        self.timer_horizon_us = timer_horizon_us
         self._queue = (
-            CalendarQueue() if self.substrate == "fast" else HeapEventQueue()
+            CalendarQueue.for_horizon(int(timer_horizon_us * 1_000_000))
+            if self.substrate == "fast"
+            else HeapEventQueue()
         )
         self._crashes: list[tuple[SimProcess, BaseException]] = []
         #: monotonic trace-id mint (telemetry trace context).  Lives on

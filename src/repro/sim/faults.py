@@ -414,10 +414,15 @@ class CpuContention(_Injector):
                  max_bursts: Optional[int] = None,
                  skip_first: int = 0,
                  start_us: Optional[float] = None,
-                 stop_us: Optional[float] = None):
-        super().__init__(plane, f"cpu:{node.name}", skip_first,
+                 stop_us: Optional[float] = None,
+                 core: int = 0):
+        super().__init__(plane, f"cpu:{node.name}" if core == 0
+                         else f"cpu:{node.name}.c{core}", skip_first,
                          start_us, stop_us)
-        self.cpu: "Cpu" = node.cpu
+        #: which core the bursts land on (an SMP node contends per-core:
+        #: stealing cycles from core 2 never slows work pinned to core 0)
+        self.core = core
+        self.cpu: "Cpu" = node.cpus[core]
         self.rate = rate
         self.burst_cycles = burst_cycles
         self.budget_rate = rate if budget_rate is None else budget_rate
@@ -506,10 +511,10 @@ class FaultPlane:
         return pressure
 
     def contend_cpu(self, node: "Node", **knobs) -> CpuContention:
-        """Install cycle-stealing bursts on ``node``'s CPU (see
-        CpuContention)."""
+        """Install cycle-stealing bursts on one of ``node``'s CPUs
+        (``core=N`` picks which; see CpuContention)."""
         contention = CpuContention(self, node, **knobs)
-        node.cpu.contention = contention
+        contention.cpu.contention = contention
         self.injectors.append(contention)
         return contention
 
