@@ -1,4 +1,4 @@
-"""Extension: TCP throughput vs window size and MSS.
+"""Extension: TCP throughput vs window, MSS, and congestion knobs.
 
 The paper fixes the window at 8 KB "to ensure experiment repeatability"
 and notes in passing that "larger window size increases the throughput"
@@ -6,21 +6,77 @@ and that "a larger MSS (up to the size of the maximum buffer size of
 the underlying network) is often better".  This bench sweeps both knobs
 to verify those remarks hold in the model — and that the ASH fast
 path's advantage persists across the sweep.
+
+A second section sweeps the congestion-control knobs that postdate the
+paper: initial congestion window (``cwnd_init``), slow-start threshold
+(``ssthresh_init``), and SACK on/off.  The cwnd/ssthresh rows use a
+short transfer so the slow-start ramp is a visible fraction of the run;
+the SACK rows run under a seeded drop schedule where selective repair
+(not the ramp) dominates.
+
+Custom sweeps (``--drop``, ``--bulk``, ``--seed``) echo their arguments
+into the results JSON under ``cli`` (the bench_scale convention).
 """
+
+import hashlib
+import random
 
 from repro.bench.harness import reproduce
 from repro.bench.results import BenchTable, ascii_chart
+from repro.bench.testbed import make_an2_pair
 from repro.bench.workloads import TcpConfig, tcp_stream_throughput
+from repro.net.socket_api import make_stacks, tcp_pair
 
 WINDOWS = [4096, 8192, 16384, 32768]
 MSSES = [536, 1024, 2048, 3072]
 BULK = 1024 * 1024
+#: short enough that the slow-start ramp is a visible fraction
+RAMP_BULK = 64 * 1024
+CWND_INITS = [3072, 6144, 12288]
+SSTHRESHES = [4096, 8192]
+DROP_RATES = [0.1, 0.2]
+LOSSY_BULK = 96_000
+SEED = 42
 
 
-def run_tcp_params() -> BenchTable:
+def lossy_goodput(drop: float, nbytes: int, seed: int = SEED,
+                  **conn_kwargs) -> float:
+    """Library-path bulk goodput (MB/s) under a seeded drop schedule."""
+    tb = make_an2_pair()
+    cstack, sstack = make_stacks(tb)
+    client, server = tcp_pair(cstack, sstack, rto_us=20_000.0,
+                              **conn_kwargs)
+    plane = tb.attach_fault_plane(seed=seed)
+    plane.impair_link(tb.link, drop=drop, skip_first=3)
+    data = bytes(random.Random(seed).randrange(256) for _ in range(nbytes))
+    span = {}
+
+    def server_body(proc):
+        yield from server.accept(proc)
+        t0 = proc.engine.now
+        got = yield from server.read(proc, nbytes)
+        span["elapsed"] = proc.engine.now - t0
+        assert hashlib.sha256(got).digest() == hashlib.sha256(data).digest()
+        yield from server.write(proc, b"done")
+
+    def client_body(proc):
+        yield from client.connect(proc)
+        yield from client.write(proc, data)
+        yield from client.read(proc, 4)
+        yield from client.linger(proc, duration_us=2_000_000.0)
+
+    tb.server_kernel.spawn_process("server", server_body)
+    tb.client_kernel.spawn_process("client", client_body)
+    tb.run()
+    return nbytes / (span["elapsed"] / 1e12) / 1e6
+
+
+def run_tcp_params(drop_rates=None, lossy_bulk: int = LOSSY_BULK,
+                   seed: int = SEED) -> BenchTable:
+    drop_rates = DROP_RATES if drop_rates is None else drop_rates
     table = BenchTable(
         name="ext_tcp_params",
-        title="Extension: TCP throughput vs window and MSS",
+        title="Extension: TCP throughput vs window, MSS, congestion knobs",
         columns=["library MB/s", "ASH MB/s"],
     )
     window_series = {"library": [], "ash": []}
@@ -43,6 +99,24 @@ def run_tcp_params() -> BenchTable:
             config=TcpConfig(mss=mss, handler="ash"), total_bytes=BULK)
         table.add_row(f"mss {mss}",
                       **{"library MB/s": lib, "ASH MB/s": ash})
+    # congestion knobs: short clean transfers expose the slow-start ramp
+    for cwnd in CWND_INITS:
+        lib = tcp_stream_throughput(
+            config=TcpConfig(cwnd_init=cwnd), total_bytes=RAMP_BULK)
+        table.add_row(f"cwnd_init {cwnd}", **{"library MB/s": lib})
+    for ssthresh in SSTHRESHES:
+        lib = tcp_stream_throughput(
+            config=TcpConfig(ssthresh_init=ssthresh), total_bytes=RAMP_BULK)
+        table.add_row(f"ssthresh {ssthresh}", **{"library MB/s": lib})
+    # SACK only matters under loss: same seeded drop schedule, on vs off
+    for rate in drop_rates:
+        pct = int(rate * 100)
+        on = lossy_goodput(rate, lossy_bulk, seed=seed, sack=True)
+        off = lossy_goodput(rate, lossy_bulk, seed=seed, sack=False)
+        table.add_row(f"drop{pct} sack", **{"library MB/s": on})
+        table.add_row(f"drop{pct} nosack", **{"library MB/s": off})
+    table.note("cwnd/ssthresh rows: 64 KB transfers (ramp-dominated); "
+               "sack rows: seeded drop schedule, library path")
     table.note("\n" + ascii_chart(window_series,
                                   title="MB/s vs window (o=ash, *=library)"))
     return table
@@ -65,9 +139,43 @@ def test_tcp_parameter_sweep(benchmark):
     for m in MSSES:
         assert (table.value(f"mss {m}", "ASH MB/s")
                 > table.value(f"mss {m}", "library MB/s"))
+    # a bigger initial window never hurts a short transfer
+    by_cwnd = [table.value(f"cwnd_init {c}", "library MB/s")
+               for c in CWND_INITS]
+    assert by_cwnd[-1] >= by_cwnd[0]
+    # an early slow-start exit (low ssthresh) costs ramp time
+    assert (table.value("ssthresh 8192", "library MB/s")
+            >= table.value("ssthresh 4096", "library MB/s"))
+    # SACK must beat go-back-N on the same heavy-drop schedule
+    assert (table.value("drop20 sack", "library MB/s")
+            > table.value("drop20 nosack", "library MB/s"))
 
 
 if __name__ == "__main__":
+    import argparse
+    import sys
+
     from repro.bench.telemetry_cli import bench_main
 
-    bench_main(run_tcp_params)
+    parser = argparse.ArgumentParser(add_help=False)
+    parser.add_argument("--drop", type=float, action="append", default=None,
+                        help="custom drop rate(s) for the SACK rows "
+                             "(repeatable)")
+    parser.add_argument("--bulk", type=int, default=None,
+                        help="custom transfer size for the SACK rows")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="custom fault-plane / payload seed")
+    args, rest = parser.parse_known_args(sys.argv[1:])
+    custom = {k: v for k, v in vars(args).items() if v is not None}
+
+    def run():
+        table = run_tcp_params(
+            drop_rates=args.drop,
+            lossy_bulk=args.bulk if args.bulk is not None else LOSSY_BULK,
+            seed=args.seed if args.seed is not None else SEED,
+        )
+        if custom:
+            table.cli = custom
+        return table
+
+    bench_main(run, rest)

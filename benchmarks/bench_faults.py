@@ -52,12 +52,12 @@ SEED = 42
 
 
 def lossy_transfer(substrate: str, kind: str, rate: float,
-                   nbytes: int) -> dict:
+                   nbytes: int, sack: bool = True) -> dict:
     """One bulk transfer under a single impairment knob; returns every
     substrate-invariant observable of the run."""
     tb = make_an2_pair(engine=Engine(substrate=substrate))
     cstack, sstack = make_stacks(tb)
-    client, server = tcp_pair(cstack, sstack, rto_us=20_000.0)
+    client, server = tcp_pair(cstack, sstack, rto_us=20_000.0, sack=sack)
     plane = tb.attach_fault_plane(seed=SEED)
     if rate:
         # keep the handshake reliable so every point measures steady
@@ -99,9 +99,43 @@ def lossy_transfer(substrate: str, kind: str, rate: float,
         "retransmits": client.tcb.retransmits + server.tcb.retransmits,
         "fast_retransmits": (client.tcb.fast_retransmits
                              + server.tcb.fast_retransmits),
+        "fast_recoveries": (client.tcb.fast_recoveries
+                            + server.tcb.fast_recoveries),
+        "selective_rexmits": (client.tcb.selective_rexmits
+                              + server.tcb.selective_rexmits),
+        "sack_blocks": client.tcb.sack_blocks_rx + server.tcb.sack_blocks_rx,
         "checksum_failures": (client.tcb.checksum_failures
                               + server.tcb.checksum_failures),
     }
+
+
+def sack_ablation(rates: list[float], nbytes: int) -> dict:
+    """The SACK win, isolated: the same seeded drop/corrupt schedules
+    with the scoreboard disabled (``sack=False`` restores drop-OOO +
+    go-back-N) versus enabled.  Congestion control runs in both arms, so
+    the ratio is the recovery machinery alone."""
+    out: dict = {}
+    print(f"sack ablation (same schedules, sack on/off):")
+    for kind in ("drop", "corrupt"):
+        points = []
+        for rate in rates:
+            if not rate:
+                continue
+            on = lossy_transfer("fast", kind, rate, nbytes, sack=True)
+            off = lossy_transfer("fast", kind, rate, nbytes, sack=False)
+            ratio = round(on["goodput_mbps"] / off["goodput_mbps"], 3)
+            points.append({
+                "rate": rate,
+                "goodput_mbps": on["goodput_mbps"],
+                "goodput_nosack_mbps": off["goodput_mbps"],
+                "sack_speedup": ratio,
+            })
+            print(f"  {kind:10s} rate={rate:<5g} "
+                  f"sack={on['goodput_mbps']:8.2f} Mb/s  "
+                  f"nosack={off['goodput_mbps']:8.2f} Mb/s  "
+                  f"speedup={ratio:g}x")
+        out[kind] = points
+    return out
 
 
 def sweep_curves(rates: list[float], nbytes: int) -> tuple[dict, bool]:
@@ -209,6 +243,8 @@ def bench(quick: bool) -> dict:
           f"seed {SEED}):")
     curves, curves_identical = sweep_curves(rates, nbytes)
     out["curves"] = curves
+
+    out["sack_ablation"] = sack_ablation(rates, nbytes)
 
     fast_demo = ash_abort_demo("fast", messages)
     legacy_demo = ash_abort_demo("legacy", messages)

@@ -137,6 +137,17 @@ KNOWN_METRICS = {
     "tcp.checksum_failures": "counters",
     "tcp.retransmits": "counters",
     "tcp.fast_retransmits": "counters",
+    # congestion control + SACK (net/tcp/tcp.py)
+    "tcp.cwnd": "gauges",
+    "tcp.ssthresh": "gauges",
+    "tcp.rto_backoffs": "counters",
+    "tcp.fast_recovery.entries": "counters",
+    "tcp.fast_recovery.exits": "counters",
+    "tcp.sack.blocks_tx": "counters",
+    "tcp.sack.blocks_rx": "counters",
+    "tcp.sack.sacked_bytes": "counters",
+    "tcp.sack.ooo_queued": "counters",
+    "tcp.sack.selective_rexmits": "counters",
     # data-touching operations (net/datapath.py)
     "datapath.bytes": "counters",
     "datapath.cycles": "counters",
@@ -153,6 +164,7 @@ KNOWN_METRICS = {
     "flow.losses": "counters",
     "flow.retransmits": "counters",
     "flow.aborts": "counters",
+    "flow.recoveries": "counters",
     "slo.violations": "counters",
 }
 

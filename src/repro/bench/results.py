@@ -94,6 +94,9 @@ class BenchTable:
     #: paper-reported values for the same cells, keyed like rows
     paper: dict[str, dict[str, float]] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    #: command-line overrides echoed into the JSON (bench_scale
+    #: convention) so custom sweeps are reproducible from the artifact
+    cli: Optional[dict] = None
 
     def add_row(self, label: str, **values: Any) -> None:
         row = {"label": label}
@@ -159,6 +162,7 @@ class BenchTable:
                     "rows": self.rows,
                     "paper": self.paper,
                     "notes": self.notes,
+                    **({"cli": self.cli} if self.cli is not None else {}),
                 },
                 fh,
                 indent=2,

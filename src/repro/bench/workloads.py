@@ -300,6 +300,9 @@ class TcpConfig:
     interrupt_driven: bool = False
     window: int = 8192
     eth: bool = False                 #: run over the Ethernet (library path)
+    cwnd_init: Optional[int] = None   #: initial congestion window, bytes
+    ssthresh_init: Optional[int] = None
+    sack: bool = True                 #: negotiate SACK (off = go-back-N)
 
     def apply_handler(self, conn) -> None:
         if self.handler is None:
@@ -322,9 +325,14 @@ def _tcp_session(cal, config: TcpConfig, client_body, server_body,
         in_place=config.in_place,
         window=config.window,
         interrupt_driven=config.interrupt_driven,
+        sack=config.sack,
     )
     if config.mss is not None:
         kwargs["mss"] = config.mss
+    if config.cwnd_init is not None:
+        kwargs["cwnd_init"] = config.cwnd_init
+    if config.ssthresh_init is not None:
+        kwargs["ssthresh_init"] = config.ssthresh_init
     if config.eth:
         if config.handler is not None:
             raise ValueError("the TCP fast path targets the AN2 framing")

@@ -23,9 +23,11 @@ __all__ = [
     "IPPROTO_UDP",
     "IPPROTO_TCP",
     "TCP_FIN", "TCP_SYN", "TCP_RST", "TCP_PSH", "TCP_ACK",
+    "TCPOPT_EOL", "TCPOPT_NOP", "TCPOPT_SACK_PERMITTED", "TCPOPT_SACK",
     "ip_aton", "ip_ntoa", "mac_str",
     "EthernetHeader", "ArpPacket", "Ipv4Header", "UdpHeader", "TcpHeader",
     "pseudo_header",
+    "sack_permitted_option", "sack_option", "parse_tcp_options",
 ]
 
 ETHERTYPE_IP = 0x0800
@@ -39,6 +41,73 @@ TCP_SYN = 0x02
 TCP_RST = 0x04
 TCP_PSH = 0x08
 TCP_ACK = 0x10
+
+# TCP option kinds (RFC 793 / RFC 2018)
+TCPOPT_EOL = 0
+TCPOPT_NOP = 1
+TCPOPT_SACK_PERMITTED = 4
+TCPOPT_SACK = 5
+
+#: SACK blocks carried per segment: 3 fits (with the 2-byte option
+#: header + 2 NOPs) inside the 40-byte option budget and is what real
+#: stacks send when a timestamp option shares the space
+MAX_SACK_BLOCKS = 3
+
+
+def sack_permitted_option() -> bytes:
+    """The 2-byte SACK-permitted option, NOP-padded to a word."""
+    return bytes((TCPOPT_NOP, TCPOPT_NOP, TCPOPT_SACK_PERMITTED, 2))
+
+
+def sack_option(blocks: list[tuple[int, int]]) -> bytes:
+    """A SACK option carrying up to :data:`MAX_SACK_BLOCKS` blocks.
+
+    Each block is ``(left, right)`` — sequence numbers of the first
+    byte held and the first byte *not* held — NOP-padded to a word
+    boundary as real stacks do.
+    """
+    blocks = blocks[:MAX_SACK_BLOCKS]
+    if not blocks:
+        return b""
+    body = b"".join(struct.pack("!II", l & 0xFFFFFFFF, r & 0xFFFFFFFF)
+                    for l, r in blocks)
+    return bytes((TCPOPT_NOP, TCPOPT_NOP,
+                  TCPOPT_SACK, 2 + len(body))) + body
+
+
+def parse_tcp_options(options: bytes) -> dict:
+    """Decode a TCP option run into ``{sack_permitted, sack_blocks}``.
+
+    Unknown options are skipped by their length byte; malformed runs
+    (a kind needing a length with none, or a length overrunning the
+    buffer) raise :class:`ProtocolError` like any other bad header.
+    """
+    out: dict = {"sack_permitted": False, "sack_blocks": []}
+    i = 0
+    n = len(options)
+    while i < n:
+        kind = options[i]
+        if kind == TCPOPT_EOL:
+            break
+        if kind == TCPOPT_NOP:
+            i += 1
+            continue
+        if i + 1 >= n:
+            raise ProtocolError("truncated TCP option")
+        length = options[i + 1]
+        if length < 2 or i + length > n:
+            raise ProtocolError(f"bad TCP option length {length}")
+        if kind == TCPOPT_SACK_PERMITTED:
+            out["sack_permitted"] = True
+        elif kind == TCPOPT_SACK:
+            body = options[i + 2:i + length]
+            if len(body) % 8:
+                raise ProtocolError("SACK option not a block multiple")
+            for off in range(0, len(body), 8):
+                left, right = struct.unpack("!II", body[off:off + 8])
+                out["sack_blocks"].append((left, right))
+        i += length
+    return out
 
 
 def ip_aton(dotted: str) -> int:
@@ -249,7 +318,11 @@ class UdpHeader:
 
 @dataclass(frozen=True)
 class TcpHeader:
-    """20-byte TCP header (RFC 793, no options)."""
+    """TCP header (RFC 793): 20 fixed bytes plus an optional option run.
+
+    ``options`` must be pre-padded to a 32-bit multiple (the builders in
+    this module emit NOP padding); the data offset is derived from it.
+    """
 
     src_port: int
     dst_port: int
@@ -259,37 +332,53 @@ class TcpHeader:
     window: int
     checksum: int = 0
     urgent: int = 0
+    options: bytes = b""
 
-    SIZE = 20
+    SIZE = 20          #: the fixed header; see :attr:`header_len`
+
+    @property
+    def header_len(self) -> int:
+        """Total header length including options (the wire data offset)."""
+        return self.SIZE + len(self.options)
 
     def pack(self) -> bytes:
+        if len(self.options) % 4:
+            raise ProtocolError("TCP options must pad to a word multiple")
+        doff_words = 5 + len(self.options) // 4
+        if doff_words > 15:
+            raise ProtocolError("TCP options exceed the 40-byte budget")
         return struct.pack(
             "!HHIIBBHHH",
             self.src_port, self.dst_port,
             self.seq, self.ack,
-            (5 << 4),            # data offset (5 words), reserved bits 0
+            (doff_words << 4),   # data offset in words, reserved bits 0
             self.flags,
             self.window,
             self.checksum,
             self.urgent,
-        )
+        ) + self.options
 
     @classmethod
     def unpack(cls, data: bytes) -> "TcpHeader":
         if len(data) < cls.SIZE:
             raise ProtocolError("truncated TCP header")
         (src, dst, seq, ack, off, flags, window, cksum, urg) = struct.unpack(
-            "!HHIIBBHHH", data[:cls.SIZE]
+            "!HHIIBBHHH", bytes(data[:cls.SIZE])
         )
-        if off >> 4 != 5:
-            raise ProtocolError("TCP options unsupported")
-        return cls(src, dst, seq, ack, flags, window, cksum, urg)
+        doff_words = off >> 4
+        if doff_words < 5:
+            raise ProtocolError(f"bad TCP data offset {doff_words}")
+        opt_len = (doff_words - 5) * 4
+        if len(data) < cls.SIZE + opt_len:
+            raise ProtocolError("truncated TCP options")
+        options = bytes(data[cls.SIZE:cls.SIZE + opt_len])
+        return cls(src, dst, seq, ack, flags, window, cksum, urg, options)
 
     def with_checksum(self, src_ip: int, dst_ip: int, payload: bytes) -> bytes:
-        """Header bytes with the transport checksum filled in."""
+        """Header bytes (including options) with the checksum filled in."""
         raw = self.pack()
         pseudo = pseudo_header(
-            src_ip, dst_ip, IPPROTO_TCP, self.SIZE + len(payload)
+            src_ip, dst_ip, IPPROTO_TCP, len(raw) + len(payload)
         )
         cksum = inet_checksum_final(pseudo + raw + payload)
         return raw[:16] + struct.pack("!H", cksum) + raw[18:]

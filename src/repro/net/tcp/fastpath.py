@@ -54,6 +54,7 @@ _TCP_OFF = Ipv4Header.SIZE          # 20
 _PORTS_OFF = _TCP_OFF + 0           # src+dst ports as one word
 _SEQ_OFF = _TCP_OFF + 4
 _ACK_OFF = _TCP_OFF + 8
+_DOFF_OFF = _TCP_OFF + 12           # data-offset byte (doff<<4)
 _FLAGS_OFF = _TCP_OFF + 13
 _CKSUM_OFF = _TCP_OFF + 16
 _HDRS_LEN = _TCP_OFF + TcpHeader.SIZE  # 40
@@ -107,6 +108,17 @@ def build_tcp_fastpath(
     b.v_ld32(ta, msg, _PORTS_OFF)
     b.v_ld32(tb, ctx, T.PORTS_RAW)
     b.v_bne(ta, tb, PASS)                  # not this connection
+    # the handler's fixed header arithmetic assumes a 20-byte TCP
+    # header; a SACK-bearing segment (doff > 5) would be misparsed as
+    # payload, so any option run aborts to the library
+    b.v_ld8(ta, msg, _DOFF_OFF)
+    b.v_li(tb, 0x50)
+    b.v_bne(ta, tb, PASS)                  # options present: library's job
+    # while the library holds out-of-order data, committing an in-order
+    # segment here would advance RCV_NXT past ranges the handler cannot
+    # see (and the sender, having seen them SACKed, will never resend)
+    b.v_ld32(ta, ctx, T.OOO_PENDING)
+    b.v_bne(ta, b.ZERO, PASS)              # reassembly queue non-empty
     b.v_ld8(ta, msg, _FLAGS_OFF)
     b.v_li(tb, TCP_ACK)
     b.v_beq(ta, tb, FLAGS_OK)

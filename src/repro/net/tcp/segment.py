@@ -65,7 +65,7 @@ def parse_segment(raw: bytes, ip_addr: int) -> ParsedSegment:
         raise ProtocolError(f"not TCP (proto {ip.proto})")
     tcp_off = Ipv4Header.SIZE
     tcp = TcpHeader.unpack(raw[tcp_off:])
-    payload_off = tcp_off + TcpHeader.SIZE
+    payload_off = tcp_off + tcp.header_len
     payload_len = ip.total_length - payload_off
     if payload_len < 0:
         raise ProtocolError("IP total_length shorter than headers")

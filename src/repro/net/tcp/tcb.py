@@ -13,7 +13,13 @@ Control Block, to avoid concurrency problems between the library and
 the handler").
 
 Slow-path-only state (connection state machine, ISS, MSS, the peer's
-advertised window) stays in Python: the handler never touches it.
+advertised window, the SACK scoreboard and recovery episode flags)
+stays in Python: the handler never touches it.  Congestion state —
+CWND and SSTHRESH — sits in the shared block with the sequence
+bookkeeping: it is application-durable (survives ``Kernel.crash()``
+byte-for-byte, so a rebooted kernel does not re-probe a path the flow
+already measured), and it is read by the library on every window-fill
+even when a kernel-resident handler is the one consuming the ACKs.
 """
 
 from __future__ import annotations
@@ -69,7 +75,22 @@ REPLY_VCI = 44
 ACK_SEQ = 48
 PORTS_RAW = 52
 FASTPATH_COUNT = 56
-SHARED_TCB_SIZE = 64
+# Congestion state lives in the shared block, not in Python: cwnd and
+# ssthresh are *application-durable* exactly like RCV_NXT — a kernel
+# crash must not reset a flow's congestion memory (the path capacity it
+# learned is a property of the network, not of the kernel instance),
+# and a kernel-resident handler consuming pure ACKs needs the sender's
+# library to see a coherent window when it wakes.
+CWND = 60
+SSTHRESH = 64
+# Nonzero while the library holds out-of-order segments in its
+# reassembly queue.  The fast-path handler must abort to the library
+# whenever this is set: committing an in-order segment in the kernel
+# would advance RCV_NXT *past* buffered data the handler knows nothing
+# about, deadlocking SACK recovery (the sender never resends what the
+# receiver already holds).
+OOO_PENDING = 68
+SHARED_TCB_SIZE = 72
 
 
 #: every named u32 field of the shared block, in offset order
@@ -77,6 +98,7 @@ SHARED_TCB_FIELDS = (
     "lib_busy", "rcv_nxt", "snd_una", "buf_base", "buf_mask", "buf_size",
     "write_count", "read_count", "pseudo_in_const", "pseudo_ack_const",
     "ack_tmpl_addr", "reply_vci", "ack_seq", "ports_raw", "fastpath_count",
+    "cwnd", "ssthresh", "ooo_pending",
 )
 
 
@@ -146,6 +168,12 @@ class SharedTcb:
                          lambda s, v: s._set(PORTS_RAW, v))
     fastpath_count = property(lambda s: s._get(FASTPATH_COUNT),
                               lambda s, v: s._set(FASTPATH_COUNT, v))
+    cwnd = property(lambda s: s._get(CWND),
+                    lambda s, v: s._set(CWND, v))
+    ssthresh = property(lambda s: s._get(SSTHRESH),
+                        lambda s, v: s._set(SSTHRESH, v))
+    ooo_pending = property(lambda s: s._get(OOO_PENDING),
+                           lambda s, v: s._set(OOO_PENDING, v))
 
     @property
     def available(self) -> int:
@@ -173,6 +201,19 @@ class Tcb:
     snd_wnd: int = 8192       #: peer's advertised window
     rcv_wnd: int = 8192       #: our advertised window
     mss: int = 536
+    #: SACK negotiated on both ends (SACK-permitted exchanged in the
+    #: handshake); gates block generation, scoreboard marking, and the
+    #: receiver's out-of-order reassembly queue
+    sack_ok: bool = False
+    #: highest snd_nxt at fast-recovery entry: acks at or above it end
+    #: the recovery episode (NewReno's ``recover`` variable)
+    recover: int = 0
+    #: inside a fast-recovery episode (entered on the dup-ack
+    #: threshold, left on a full ack or a retransmission timeout)
+    in_recovery: bool = False
+    #: byte accumulator for congestion avoidance: cwnd grows one MSS
+    #: per cwnd bytes acknowledged (byte-counted AIMD)
+    cwnd_acc: int = 0
     # statistics (Section V-B reports the abort rate of the fast path)
     hdrpred_hits: int = 0
     slow_segments: int = 0
@@ -183,8 +224,22 @@ class Tcb:
     checksum_failures: int = 0
     #: duplicate ACKs received (the fast-retransmit trigger)
     dup_acks_rcvd: int = 0
-    #: retransmissions triggered by three duplicate ACKs (no timer wait)
+    #: fast retransmissions (dup-ack threshold, no timer wait); with
+    #: SACK these resend the first *hole*, not blindly the oldest seg
     fast_retransmits: int = 0
+    #: fast-recovery episodes entered (cwnd halvings without an RTO)
+    fast_recoveries: int = 0
+    #: retransmissions that skipped SACKed segments (the selective
+    #: part of selective repeat — go-back-N would have resent them)
+    selective_rexmits: int = 0
+    #: SACK blocks sent (receiver side) and received (sender side)
+    sack_blocks_tx: int = 0
+    sack_blocks_rx: int = 0
+    #: bytes newly marked SACKed on the sender scoreboard
+    sacked_bytes: int = 0
+    #: out-of-order segments buffered by the receiver instead of thrown
+    #: away (pre-SACK behaviour was drop + duplicate ack)
+    ooo_buffered: int = 0
     #: per-connection timer wheel (retransmit/delack churn); installed
     #: by TcpConnection so cancelled timers never build up as tombstones
     timers: Optional["TimerWheel"] = None
@@ -193,7 +248,21 @@ class Tcb:
     def snd_inflight(self) -> int:
         return (self.snd_nxt - self.shared.snd_una) & MASK32
 
+    def window_open(self, sacked_below_nxt: int = 0) -> int:
+        """Bytes the send window currently admits.
+
+        The binding constraint is ``min(cwnd, snd_wnd, rcv_wnd)`` —
+        congestion window, the peer's advertised window, and our own —
+        minus the bytes in flight.  ``sacked_below_nxt`` credits bytes
+        the peer has selectively acknowledged: they are off the wire,
+        so SACK lets new data flow during recovery where a cumulative
+        view would stall.
+        """
+        cwnd = self.shared.cwnd or self.snd_wnd
+        flight = self.snd_inflight - sacked_below_nxt
+        return max(0, min(self.snd_wnd, self.rcv_wnd, cwnd) - flight)
+
     @property
     def send_window_open(self) -> int:
         """Bytes the window currently allows us to put in flight."""
-        return max(0, min(self.snd_wnd, self.rcv_wnd) - self.snd_inflight)
+        return self.window_open(0)

@@ -45,28 +45,32 @@ class SloRule:
     """One declarative objective; unset thresholds are not checked.
 
     ``max_latency_us`` breaches per observation above the bound;
-    ``max_retransmits`` / ``max_losses`` / ``max_aborts`` breach on
-    every event past the cumulative budget (so the violation count
-    tracks how far past the objective the flow went).
+    ``max_retransmits`` / ``max_losses`` / ``max_aborts`` /
+    ``max_recoveries`` (fast-recovery episodes — congestion events, a
+    coarser health signal than raw retransmits) breach on every event
+    past the cumulative budget (so the violation count tracks how far
+    past the objective the flow went).
     """
 
     __slots__ = ("name", "max_latency_us", "max_retransmits",
-                 "max_losses", "max_aborts")
+                 "max_losses", "max_aborts", "max_recoveries")
 
     def __init__(self, name: str, max_latency_us: Optional[float] = None,
                  max_retransmits: Optional[int] = None,
                  max_losses: Optional[int] = None,
-                 max_aborts: Optional[int] = None):
+                 max_aborts: Optional[int] = None,
+                 max_recoveries: Optional[int] = None):
         self.name = name
         self.max_latency_us = max_latency_us
         self.max_retransmits = max_retransmits
         self.max_losses = max_losses
         self.max_aborts = max_aborts
+        self.max_recoveries = max_recoveries
 
     def describe(self) -> dict:
         out = {"name": self.name}
         for key in ("max_latency_us", "max_retransmits", "max_losses",
-                    "max_aborts"):
+                    "max_aborts", "max_recoveries"):
             value = getattr(self, key)
             if value is not None:
                 out[key] = value
@@ -77,7 +81,8 @@ class FlowStats:
     """Cached per-flow instruments + rule evaluation for one 4-tuple."""
 
     __slots__ = ("tracker", "flow", "label", "latency", "_goodput",
-                 "_tx", "_rx", "_losses", "_retransmits", "_aborts")
+                 "_tx", "_rx", "_losses", "_retransmits", "_aborts",
+                 "_recoveries")
 
     def __init__(self, tracker: "SloTracker", flow: tuple):
         self.tracker = tracker
@@ -93,6 +98,7 @@ class FlowStats:
         self._losses = reg.counter("flow.losses", flow=self.label)
         self._retransmits = reg.counter("flow.retransmits", flow=self.label)
         self._aborts = reg.counter("flow.aborts", flow=self.label)
+        self._recoveries = reg.counter("flow.recoveries", flow=self.label)
 
     # -- observations --------------------------------------------------
     def observe_latency_us(self, v: float, t: int) -> None:
@@ -122,6 +128,11 @@ class FlowStats:
 
     def abort(self, t: int) -> None:
         self._counted_event(self._aborts, t, "aborts", "max_aborts")
+
+    def recovery(self, t: int) -> None:
+        """One fast-recovery episode entered (a congestion event)."""
+        self._counted_event(self._recoveries, t, "recoveries",
+                            "max_recoveries")
 
     def _counted_event(self, counter, t: int, metric: str,
                        threshold_attr: str) -> None:

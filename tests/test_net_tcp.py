@@ -210,7 +210,7 @@ class TestLossRecovery:
 
     def test_dropped_data_segment_retransmitted(self):
         tb, client, server = build_pair()
-        self.make_lossy(tb, {5})  # drop an early data segment
+        self.make_lossy(tb, {3})  # drop the first data segment
         data = bytes(range(256)) * 40  # 10240 bytes
         got = []
 
@@ -226,7 +226,9 @@ class TestLossRecovery:
 
         run_session(tb, client, server, c, s)
         assert got and got[0] == data
-        assert client.tcb.retransmits >= 1
+        # the hole is repaired — by a dup-ack-triggered fast retransmit
+        # (SACK path) or a timer round, whichever the timing produced
+        assert client.tcb.retransmits + client.tcb.fast_retransmits >= 1
 
     def test_dropped_ack_recovered(self):
         tb, client, server = build_pair()

@@ -151,6 +151,49 @@ def test_smp_substrates_produce_identical_observables(cores):
     assert fast.digest() == legacy.digest()
 
 
+def _smp_lossy_cc(substrate, cores, nbytes=32_000):
+    """A lossy TCP transfer on an ``ncores`` node pair; returns the
+    delivered digest plus both ends' congestion-event digests."""
+    import hashlib
+    import random as _random
+
+    from repro.net.socket_api import make_stacks, tcp_pair
+
+    tb = make_an2_pair(engine=Engine(substrate=substrate), ncores=cores)
+    cstack, sstack = make_stacks(tb)
+    client, server = tcp_pair(cstack, sstack, rto_us=20_000.0)
+    plane = tb.attach_fault_plane(seed=42)
+    plane.impair_link(tb.link, drop=0.1, skip_first=3)
+    data = bytes(_random.Random(42).randrange(256) for _ in range(nbytes))
+    got = []
+
+    def server_body(proc):
+        yield from server.accept(proc)
+        got.append((yield from server.read(proc, nbytes)))
+        yield from server.write(proc, b"done")
+
+    def client_body(proc):
+        yield from client.connect(proc)
+        yield from client.write(proc, data)
+        assert (yield from client.read(proc, 4)) == b"done"
+        yield from client.linger(proc, duration_us=2_000_000.0)
+
+    tb.server_kernel.spawn_process("server", server_body)
+    tb.client_kernel.spawn_process("client", client_body)
+    tb.run()
+    assert got and got[0] == data
+    return (hashlib.sha256(got[0]).hexdigest(),
+            client.congestion_digest(), server.congestion_digest())
+
+
+@pytest.mark.parametrize("cores", [1, 2, 4])
+def test_congestion_evolution_substrate_identical_under_smp(cores):
+    """cwnd/ssthresh evolution (every grow, recovery, RTO and backoff
+    event, timestamped) and SACK behaviour must stay bit-identical
+    between substrates with RSS + per-core rings in the path."""
+    assert _smp_lossy_cc("fast", cores) == _smp_lossy_cc("legacy", cores)
+
+
 def test_canonical_sidecar_steered_sums_to_rx_frames():
     """The committed telemetry sidecar carries the dispatch-stage
     conservation law: per-core ``rss.steered`` counters sum to
