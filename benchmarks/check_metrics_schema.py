@@ -166,6 +166,15 @@ KNOWN_METRICS = {
     "flow.aborts": "counters",
     "flow.recoveries": "counters",
     "slo.violations": "counters",
+    # live-operations plane: versioned installs + canary rollouts
+    # (ash/system.py install_version, ash/liveops.py RolloutController)
+    "liveops.installs": "counters",
+    "liveops.rollouts": "counters",
+    "liveops.swaps": "counters",
+    "liveops.promotions": "counters",
+    "liveops.rollbacks": "counters",
+    "liveops.guard_trips": "counters",
+    "liveops.canary_flows": "gauges",
 }
 
 #: historical alias — tests and tools pinned kinds through this name

@@ -170,11 +170,19 @@ def capture_canonical_telemetry(metrics_out: str | None) -> None:
     """Run the canonical telemetry capture and write its sidecars."""
     from repro import telemetry
     from repro.bench.telemetry_cli import write_sidecars
-    from repro.bench.workloads import remote_increment, udp_pingpong
+    from repro.bench.workloads import (
+        canary_rollout,
+        remote_increment,
+        udp_pingpong,
+    )
 
     with telemetry.session() as sess:
         udp_pingpong(iters=2, warmup=1)
         remote_increment(mode="ash", iters=2, warmup=1)
+        # a small live-ops rollout so the canonical sidecar carries the
+        # liveops.* metrics and the rollout flight events
+        canary_rollout(flows=2, staged_rounds=2, canary_rounds=2,
+                       post_rounds=1, v2="identical")
     metrics_path, trace_path = write_sidecars(sess, "canonical", metrics_out)
     print(f"wrote {metrics_path}")
     print(f"wrote {trace_path}")

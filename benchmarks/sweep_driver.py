@@ -1,0 +1,359 @@
+#!/usr/bin/env python3
+"""Unified chaos-sweep driver: workload × fault-scenario × substrate.
+
+One driver runs every live-operations scenario the crash plane promises
+to survive, on both simulation substrates, and emits a single
+schema-validated ``BENCH_liveops.json`` gated by
+``check_bench_trend.py``.  The grid closes the crash-plane gaps the
+earlier benches left open:
+
+* **client-side crash** — ``NodeCrash`` on the *sender's* kernel
+  mid-bulk-transfer (earlier benches only crashed the server);
+* **crash during the TCP three-way handshake** — the server dies with
+  the SYN in flight; the client's bounded connect retries re-establish
+  after reboot (a permanently dead peer raises a 4-tuple-carrying
+  ``ProtocolError``, pinned in ``tests/test_net_tcp.py``);
+* **reboot storms under sustained load** — ``NodeCrash(repeat=N)``
+  cycles the server through several crash/reboot rounds inside one
+  transfer;
+* **pinned recovery-latency upper bounds** — every crash cell measures
+  reboot→first-delivery recovery time and the summary asserts each
+  scenario's bound (``RECOVERY_BOUND_US``); earlier tests pinned only
+  the degradation *order*.
+
+The canary-rollout workload rides the same grid: a digest-divergent v2
+must roll back (also with a mid-canary server crash — the rollout's
+bindings ride the boot-record replay), an identical v2 must promote
+even under link jitter, and every cell must be bit-identical across
+substrates with zero lost messages and zero order violations.
+
+``--smoke`` runs a 2×2×2 corner of the grid (one crash scenario per
+workload, both substrates) — wired into tier 1 via
+``tests/test_sweep_driver.py``, writing outside the repo root so the
+committed full-grid baseline is untouched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import random
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.bench.testbed import make_an2_pair                    # noqa: E402
+from repro.bench.workloads import canary_rollout                 # noqa: E402
+from repro.net.socket_api import make_stacks, tcp_pair           # noqa: E402
+from repro.sim.engine import Engine                              # noqa: E402
+
+SCHEMA = "repro-liveops-sweep"
+SCHEMA_VERSION = 1
+SEED = 11
+
+#: pinned recovery-latency upper bounds (µs from reboot to the first
+#: post-reboot delivery), per crash scenario.  These are *declared
+#: budgets* the sweep asserts, not measurements: raising one is a
+#: conscious baseline change.  Bounds follow from the recovery
+#: mechanism — TCP retransmission finds the rebooted node within one
+#: backed-off RTO (20 ms base here), the canary client's next request
+#: round lands immediately after reboot.
+RECOVERY_BOUND_US = {
+    "tcp_bulk/client_crash": 90_000.0,
+    "tcp_bulk/handshake_crash": 90_000.0,
+    "tcp_bulk/reboot_storm": 90_000.0,
+    "canary/server_crash": 5_000.0,
+}
+
+
+# ---------------------------------------------------------------------------
+# workload runners (one cell = one substrate run)
+# ---------------------------------------------------------------------------
+
+def run_tcp_bulk(substrate: str, nbytes: int, crash: dict = None,
+                 knobs: dict = None) -> dict:
+    """One TCP bulk transfer with an optional scripted crash (on either
+    node, possibly a storm) and optional link chaos."""
+    tb = make_an2_pair(engine=Engine(substrate=substrate))
+    cstack, sstack = make_stacks(tb)
+    client, server = tcp_pair(cstack, sstack, rto_us=20_000.0)
+    plane = tb.attach_fault_plane(seed=SEED)
+    if knobs:
+        plane.impair_link(tb.link, skip_first=3, **knobs)
+    crashed_kernel = None
+    if crash:
+        crash = dict(crash)
+        target = crash.pop("target", "server")
+        crashed_kernel = (tb.client_kernel if target == "client"
+                          else tb.server_kernel)
+        plane.crash_node(crashed_kernel, **crash)
+    data = bytes(random.Random(SEED).randrange(256) for _ in range(nbytes))
+    got = []
+    elapsed = []
+
+    def server_body(proc):
+        yield from server.accept(proc)
+        t0 = proc.engine.now
+        got.append((yield from server.read(proc, nbytes)))
+        elapsed.append(proc.engine.now - t0)
+        yield from server.write(proc, b"done")
+
+    def client_body(proc):
+        yield from client.connect(proc)
+        yield from client.write(proc, data)
+        reply = yield from client.read(proc, 4)
+        assert reply == b"done"
+        yield from client.linger(proc, duration_us=2_000_000.0)
+
+    tb.server_kernel.spawn_process("server", server_body)
+    tb.client_kernel.spawn_process("client", client_body)
+    tb.run()
+    if not got or got[0] != data:
+        raise RuntimeError(
+            f"tcp_bulk({substrate}): transfer corrupted or incomplete")
+    sk, ck = tb.server_kernel, tb.client_kernel
+    recoveries_us = []
+    if crashed_kernel is not None:
+        for rec in crashed_kernel.crash_log:
+            if rec["first_delivery_after_reboot"] is not None \
+                    and rec["reboot_at"] is not None:
+                recoveries_us.append(
+                    (rec["first_delivery_after_reboot"] - rec["reboot_at"])
+                    / 1_000_000)
+    elapsed_ps = elapsed[0]
+    return {
+        "digest": hashlib.sha256(got[0]).hexdigest(),
+        "elapsed_us": elapsed_ps / 1_000_000,
+        "goodput_mbps": nbytes * 8 / (elapsed_ps / 1e12) / 1e6,
+        "crashes": sk.crash_count + ck.crash_count,
+        "recoveries": sk.recoveries + ck.recoveries,
+        "recovery_us": max(recoveries_us) if recoveries_us else None,
+        "lost_in_crash": sk.lost_messages + ck.lost_messages,
+        "retransmits": client.tcb.retransmits + server.tcb.retransmits,
+        "ledger": plane.ledger(),
+        "delivery_outcomes": dict(sorted(sk.delivery_outcomes.items())),
+        "order_violations": (sk.degradation_order_violations
+                             + ck.degradation_order_violations),
+    }
+
+
+def run_canary(substrate: str, v2: str, crash: bool = False,
+               jitter_us: float = None) -> dict:
+    scenario = None
+    if jitter_us is not None:
+        def scenario(tb):
+            return [{"site": "link", "target": tb.link,
+                     "delay_jitter_us": jitter_us}]
+    return canary_rollout(
+        substrate=substrate, v2=v2, crash_during_canary=crash,
+        scenario=scenario, fault_seed=SEED,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the grid
+# ---------------------------------------------------------------------------
+
+def grid_cells(smoke: bool, nbytes: int) -> list[dict]:
+    """The declarative grid: (workload, scenario, runner kwargs,
+    expectations)."""
+    tcp = [
+        {"workload": "tcp_bulk", "scenario": "none", "kwargs": {}},
+        {"workload": "tcp_bulk", "scenario": "client_crash",
+         "kwargs": {"crash": {"target": "client", "at_us": 1_500.0,
+                              "outage_us": 2_000.0}},
+         "expect_recovered": True},
+        {"workload": "tcp_bulk", "scenario": "handshake_crash",
+         "kwargs": {"crash": {"target": "server", "at_us": 5.0,
+                              "outage_us": 2_000.0}},
+         "expect_recovered": True},
+        {"workload": "tcp_bulk", "scenario": "reboot_storm",
+         "kwargs": {"crash": {"target": "server", "at_us": 1_500.0,
+                              "outage_us": 1_000.0, "repeat": 3,
+                              "period_us": 8_000.0}},
+         "expect_recovered": True},
+        {"workload": "tcp_bulk", "scenario": "link_chaos",
+         "kwargs": {"knobs": {"drop": 0.05, "corrupt": 0.02}}},
+    ]
+    canary = [
+        {"workload": "canary", "scenario": "none",
+         "kwargs": {"v2": "divergent"}, "expect_state": "rolled_back"},
+        {"workload": "canary", "scenario": "server_crash",
+         "kwargs": {"v2": "divergent", "crash": True},
+         "expect_state": "rolled_back", "expect_recovered": True},
+        {"workload": "canary", "scenario": "link_jitter",
+         "kwargs": {"v2": "identical", "jitter_us": 20.0},
+         "expect_state": "promoted"},
+    ]
+    if smoke:
+        # the 2×2×2 corner: 2 workloads × 2 scenarios × 2 substrates
+        tcp = [c for c in tcp if c["scenario"] in ("none", "client_crash")]
+        canary = [c for c in canary
+                  if c["scenario"] in ("none", "server_crash")]
+    for cell in tcp:
+        cell["kwargs"]["nbytes"] = nbytes
+    return tcp + canary
+
+
+def run_cell(cell: dict) -> dict:
+    """Run one grid cell on both substrates; returns the cell record."""
+    runner = run_tcp_bulk if cell["workload"] == "tcp_bulk" else run_canary
+    fast = runner("fast", **cell["kwargs"])
+    legacy = runner("legacy", **cell["kwargs"])
+    record = {
+        "workload": cell["workload"],
+        "scenario": cell["scenario"],
+        "identical": fast == legacy,
+        "observables": fast,
+    }
+    if "expect_state" in cell:
+        record["expect_state"] = cell["expect_state"]
+        record["state_ok"] = fast.get("state") == cell["expect_state"]
+    if cell.get("expect_recovered"):
+        record["recovered"] = bool(fast.get("recoveries"))
+        bound = RECOVERY_BOUND_US.get(
+            f"{cell['workload']}/{cell['scenario']}")
+        if bound is not None:
+            record["recovery_bound_us"] = bound
+            record["recovery_within_bound"] = (
+                fast.get("recovery_us") is not None
+                and fast["recovery_us"] <= bound)
+    return record
+
+
+def bench(smoke: bool) -> dict:
+    nbytes = 16_000 if smoke else 48_000
+    out: dict = {
+        "schema": SCHEMA,
+        "version": SCHEMA_VERSION,
+        "bench": "liveops",
+        "quick": smoke,
+        "python": sys.version.split()[0],
+        "seed": SEED,
+        "transfer_bytes": nbytes,
+        "grid": [],
+    }
+    for cell in grid_cells(smoke, nbytes):
+        record = run_cell(cell)
+        out["grid"].append(record)
+        obs = record["observables"]
+        extras = []
+        if obs.get("recovery_us") is not None:
+            extras.append(f"recovery={obs['recovery_us']:.1f}us")
+        if "state_ok" in record:
+            extras.append(f"state={obs['state']}"
+                          f"{'' if record['state_ok'] else ' (WRONG)'}")
+        print(f"  {record['workload']:>9s} × {record['scenario']:<16s} "
+              f"ov={obs['order_violations']} "
+              f"{'identical' if record['identical'] else 'DIVERGED'} "
+              + " ".join(extras))
+
+    recovery_bounds = {}
+    for record in out["grid"]:
+        if record.get("observables", {}).get("recovery_us") is not None:
+            key = f"{record['workload']}_{record['scenario']}_recovery_us"
+            recovery_bounds[key] = record["observables"]["recovery_us"]
+    out["summary"] = {
+        "cells": len(out["grid"]),
+        "all_identical": all(r["identical"] for r in out["grid"]),
+        "zero_order_violations": all(
+            r["observables"]["order_violations"] == 0 for r in out["grid"]),
+        "all_rollouts_correct": all(
+            r.get("state_ok", True) for r in out["grid"]),
+        "all_crashes_recovered": all(
+            r.get("recovered", True) for r in out["grid"]),
+        "all_recoveries_within_bounds": all(
+            r.get("recovery_within_bound", True) for r in out["grid"]),
+        "zero_canary_losses": all(
+            r["observables"].get("lost_messages", 0) == 0
+            for r in out["grid"] if r["workload"] == "canary"),
+        "recovery_latencies": recovery_bounds,
+    }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# schema validation (shared with tests/test_sweep_driver.py)
+# ---------------------------------------------------------------------------
+
+def validate_doc(doc: dict) -> list[str]:
+    """Structural check of a sweep document; returns error strings."""
+    errors: list[str] = []
+    for key, want in (("schema", SCHEMA), ("version", SCHEMA_VERSION),
+                      ("bench", "liveops")):
+        if doc.get(key) != want:
+            errors.append(f"{key}: expected {want!r}, got {doc.get(key)!r}")
+    if not isinstance(doc.get("grid"), list) or not doc["grid"]:
+        errors.append("grid: missing or empty")
+        return errors
+    for i, record in enumerate(doc["grid"]):
+        where = f"grid[{i}]"
+        for key in ("workload", "scenario", "identical", "observables"):
+            if key not in record:
+                errors.append(f"{where}: missing {key}")
+        obs = record.get("observables", {})
+        if "order_violations" not in obs:
+            errors.append(f"{where}: observables missing order_violations")
+        if record.get("workload") == "canary":
+            for key in ("state", "lost_messages", "canary_flows"):
+                if key not in obs:
+                    errors.append(f"{where}: canary observables missing {key}")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        errors.append("summary: missing")
+        return errors
+    for key in ("cells", "all_identical", "zero_order_violations",
+                "all_rollouts_correct", "all_crashes_recovered",
+                "all_recoveries_within_bounds", "zero_canary_losses",
+                "recovery_latencies"):
+        if key not in summary:
+            errors.append(f"summary: missing {key}")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="2×2×2 grid corner (tier-1 smoke run)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: "
+                             "<repo>/BENCH_liveops.json; smoke runs "
+                             "default to the system temp dir)")
+    args = parser.parse_args(argv)
+    out = bench(args.smoke)
+    errors = validate_doc(out)
+    if errors:
+        for error in errors:
+            print(f"SCHEMA ERROR: {error}", file=sys.stderr)
+        return 1
+    path = args.out
+    if path is None:
+        if args.smoke:
+            path = os.path.join(tempfile.gettempdir(),
+                                "liveops_sweep_smoke.json")
+        else:
+            path = os.path.join(
+                os.path.dirname(os.path.abspath(__file__)), os.pardir,
+                "BENCH_liveops.json")
+    with open(path, "w") as fh:
+        json.dump(out, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {os.path.normpath(path)}")
+    summary = out["summary"]
+    failures = [key for key in ("all_identical", "zero_order_violations",
+                                "all_rollouts_correct",
+                                "all_crashes_recovered",
+                                "all_recoveries_within_bounds",
+                                "zero_canary_losses")
+                if not summary[key]]
+    for key in failures:
+        print(f"ERROR: summary.{key} is false", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,12 @@ class AshEntry:
     report: Optional[SandboxReport]
     sandboxed: bool
     budget: BudgetPolicy = BudgetPolicy.TIMER
+    #: generation number within this handler's upgrade lineage (1 = the
+    #: original install; install_version() grows it)
+    version: int = 1
+    #: root ash_id of the upgrade lineage (the first-ever version's id);
+    #: two entries with the same lineage are versions of one handler
+    lineage: Optional[int] = None
     #: static cycle bound proved at download time (STATIC_ESTIMATE only)
     static_bound: Optional[int] = None
     regs: list[int] = field(default_factory=lambda: [0] * NUM_REGS)
@@ -77,6 +83,8 @@ class AshEntry:
     def stats(self) -> dict:
         out = {
             "name": self.program.name,
+            "version": self.version,
+            "lineage": self.lineage,
             "sandboxed": self.sandboxed,
             "budget_policy": self.budget.value,
             "static_bound": self.static_bound,
@@ -132,6 +140,8 @@ class AshSystem:
         user_word: int = 0,
         policy: Optional[SandboxPolicy] = None,
         sandbox: bool = True,
+        version: int = 1,
+        lineage: Optional[int] = None,
     ) -> int:
         """Import a handler; returns its identifier.
 
@@ -155,6 +165,8 @@ class AshSystem:
         entry = self._build_entry(
             ash_id, program, allowed_regions, user_word, policy, sandbox
         )
+        entry.version = version
+        entry.lineage = lineage if lineage is not None else ash_id
         self._entries[ash_id] = entry
         self._boot_records[ash_id] = {
             "program": source,
@@ -163,6 +175,8 @@ class AshSystem:
             "user_word": user_word,
             "policy": policy,
             "sandbox": sandbox,
+            "version": entry.version,
+            "lineage": entry.lineage,
         }
         tel = self.kernel.node.telemetry
         if tel.enabled:
@@ -172,6 +186,57 @@ class AshSystem:
                           handler=entry.program.name).set(
                               entry.report.added_insns)
         return ash_id
+
+    def install_version(
+        self,
+        old_id: int,
+        program: Program,
+        allowed_regions: Optional[list[tuple[int, int]]] = None,
+        user_word: Optional[int] = None,
+        policy: Optional[SandboxPolicy] = None,
+        sandbox: Optional[bool] = None,
+    ) -> int:
+        """Download a new *version* of an installed handler.
+
+        The new code goes through the full verify + sandbox pipeline
+        exactly like a first install (an upgrade must not weaken the
+        safety argument) and receives its own id with
+        ``version = old.version + 1`` in the same lineage.  Old and new
+        versions **coexist**: endpoints still bound to ``old_id`` keep
+        running the old code until something rebinds them, which is what
+        makes staged canary rollout (and atomic rollback) possible.
+        Region/word/policy defaults are inherited from the old version's
+        boot record.
+        """
+        old = self.entry(old_id)
+        boot = self._boot_records[old_id]
+        new_id = self.download(
+            program,
+            (list(allowed_regions) if allowed_regions is not None
+             else boot["allowed"]),
+            user_word=(user_word if user_word is not None
+                       else boot["user_word"]),
+            policy=policy if policy is not None else boot["policy"],
+            sandbox=sandbox if sandbox is not None else boot["sandbox"],
+            version=old.version + 1,
+            lineage=old.lineage if old.lineage is not None else old_id,
+        )
+        tel = self.kernel.node.telemetry
+        if tel.enabled:
+            tel.counter("liveops.installs",
+                        handler=program.name).inc()
+        self.kernel.node.trace(
+            "ash.install_version",
+            f"{program.name}: v{old.version} -> v{old.version + 1} "
+            f"(id {old_id} -> {new_id})",
+        )
+        return new_id
+
+    def versions(self, lineage: int) -> list[int]:
+        """Installed ids in one upgrade lineage, oldest version first."""
+        ids = [ash_id for ash_id, e in self._entries.items()
+               if e.lineage == lineage]
+        return sorted(ids, key=lambda i: (self._entries[i].version, i))
 
     def _build_entry(
         self,
@@ -261,10 +326,13 @@ class AshSystem:
                 self.install_failures += 1
                 failures += 1
                 continue
-            self._entries[ash_id] = self._build_entry(
+            entry = self._build_entry(
                 ash_id, boot["program"], boot["allowed"],
                 boot["user_word"], boot["policy"], boot["sandbox"],
             )
+            entry.version = boot.get("version", 1)
+            entry.lineage = boot.get("lineage", ash_id)
+            self._entries[ash_id] = entry
             reinstalled.add(ash_id)
             if tel.enabled:
                 tel.counter("ash.downloads").inc()

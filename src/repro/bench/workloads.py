@@ -13,6 +13,7 @@ to exact numbers here).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -47,6 +48,7 @@ __all__ = [
     "tcp_stream_throughput",
     "remote_increment",
     "RemoteIncrementResult",
+    "canary_rollout",
 ]
 
 SERVER_IP = "10.0.0.2"
@@ -569,3 +571,227 @@ def remote_increment(
         )
     result.rt_us = _mean(measured)
     return result
+
+
+# ---------------------------------------------------------------------------
+# live operations: hot ASH upgrade with staged canary rollout
+# ---------------------------------------------------------------------------
+
+def _build_increment_v2(kind: str, slow_insns: int):
+    """A v2 of the remote-increment handler for the rollout workload.
+
+    ``identical`` — byte-for-byte the v1 behaviour (a routine redeploy);
+    ``divergent`` — increments by *twice* the message amount (a buggy
+    release the digest guard must catch);
+    ``slow`` — v1 behaviour plus ``slow_insns`` of straight-line padding
+    (a performance regression the latency guard must catch; kept far
+    below the two-tick abort budget so it degrades, not aborts).
+    """
+    from ..ash.handler import AshBuilder
+
+    if kind == "identical":
+        return build_remote_increment()
+    b = AshBuilder("remote_increment")
+    bad = b.label("pass")
+    four = b.getreg()
+    b.v_li(four, 4)
+    b.v_bne(b.LEN, four, bad)
+    if kind == "slow":
+        pad = b.getreg()
+        one = b.getreg()
+        b.v_li(pad, 0)
+        b.v_li(one, 1)
+        for _ in range(slow_insns):
+            b.v_addu(pad, pad, one)
+        b.putreg(pad)
+        b.putreg(one)
+    counter_ptr = b.getreg()
+    amount = b.getreg()
+    value = b.getreg()
+    b.v_ld32(counter_ptr, b.CTX, PARAM_COUNTER)
+    b.v_ld32(amount, b.MSG, 0)
+    b.v_ld32(value, counter_ptr, 0)
+    b.v_addu(value, value, amount)
+    if kind == "divergent":
+        b.v_addu(value, value, amount)     # the bug: += 2 * amount
+    elif kind != "slow":
+        raise ValueError(f"unknown v2 kind {kind!r}")
+    b.v_st32(value, counter_ptr, 0)
+    scratch = b.getreg()
+    b.v_ld32(scratch, b.CTX, PARAM_SCRATCH)
+    b.v_st32(value, scratch, 0)
+    vci = b.getreg()
+    b.v_ld32(vci, b.CTX, PARAM_REPLY_VCI)
+    b.v_send(scratch, four, vci)
+    b.v_consume()
+    b.mark(bad)
+    b.v_pass()
+    return b.finish()
+
+
+def canary_rollout(
+    cal: Calibration = DEFAULT,
+    substrate: Optional[str] = None,
+    ncores: int = 1,
+    flows: int = 4,
+    staged_rounds: int = 4,
+    canary_rounds: int = 4,
+    post_rounds: int = 2,
+    fraction: float = 0.25,
+    v2: str = "identical",
+    latency_budget: float = 0.25,
+    slow_insns: int = 2000,
+    crash_during_canary: bool = False,
+    crash_outage_us: float = 500.0,
+    scenario: Optional[Callable[[Testbed], list]] = None,
+    fault_seed: int = 11,
+) -> dict:
+    """The live-operations workload: upgrade a fleet of remote-increment
+    handlers under live traffic through a staged canary rollout.
+
+    ``flows`` independent AM flows each get their own VCI pair, state
+    block and v1 handler download on the server; v2 (``identical`` /
+    ``divergent`` / ``slow``) is installed next to v1 via
+    :meth:`~repro.ash.system.AshSystem.install_version`.  The client
+    drives serial request rounds through three phases — staged (golden
+    capture), canary (a deterministic cohort on v2), post-verdict — and
+    the :class:`~repro.ash.liveops.RolloutController` promotes or rolls
+    back from the captured digests/latencies.  ``crash_during_canary``
+    crashes and reboots the *server* kernel between canary rounds: the
+    version bindings ride the boot-record replay, so the rollout must
+    come back in its canary configuration with zero lost messages.
+
+    Returns a deterministic observables dict — the substrate/SMP
+    bit-identity bar for the rollout plane.
+    """
+    from ..ash.liveops import RolloutController
+    from ..sim.engine import Engine
+
+    engine = Engine(substrate=substrate) if substrate else Engine()
+    tb = make_an2_pair(cal, engine=engine, ncores=ncores)
+    sk, ck = tb.server_kernel, tb.client_kernel
+    if scenario is not None:
+        tb.attach_fault_plane(seed=fault_seed)
+        tb.fault_plane.apply_scenario(scenario(tb))
+    mem = tb.server.memory
+
+    srv_eps, cli_eps, targets = [], [], []
+    for i in range(flows):
+        srv_ep = sk.create_endpoint_an2(tb.server_nic, 10 + i)
+        cli_ep = ck.create_endpoint_an2(tb.client_nic, 100 + i)
+        state = mem.alloc(f"canary_state{i}", 64)
+        params_addr = state.base + 32
+        mem.store_u32(params_addr + PARAM_COUNTER, state.base)
+        mem.store_u32(params_addr + PARAM_REPLY_VCI, 100 + i)
+        mem.store_u32(params_addr + PARAM_SCRATCH, state.base + 16)
+        v1_id = sk.ash_system.download(
+            build_remote_increment(),
+            allowed_regions=[(state.base, 64)],
+            user_word=params_addr,
+        )
+        sk.ash_system.bind(srv_ep, v1_id)
+        v2_id = sk.ash_system.install_version(
+            v1_id, _build_increment_v2(v2, slow_insns))
+        srv_eps.append(srv_ep)
+        cli_eps.append(cli_ep)
+        targets.append((srv_ep, v1_id, v2_id))
+
+    ctrl = RolloutController(sk, targets, canary_fraction=fraction,
+                             latency_budget=latency_budget,
+                             name=f"canary-{v2}")
+    counts = {"sent": 0, "received": 0}
+    last_value = [0] * flows
+    round_digests: dict[str, list[str]] = {ep.name: [] for ep in srv_eps}
+    staged_lat: list[float] = []
+    slo_tel = tb.server.telemetry  # the hub hosting the rollout's SLO plane
+    slo_flows = [slo_tel.slo.flow((0x0A000001, 9000 + i, 0x0A000002, 10 + i))
+                 for i in range(flows)] if slo_tel.enabled else None
+    cmem = tb.client.memory
+
+    def one_round(proc, collect=None):
+        for i in range(flows):
+            t0 = proc.engine.now
+            counts["sent"] += 1
+            yield from ck.sys_net_send(
+                proc, tb.client_nic,
+                Frame((1).to_bytes(4, "little"), vci=10 + i),
+            )
+            desc = yield from ck.sys_recv_poll(proc, cli_eps[i])
+            value = cmem.load_u32(desc.addr)
+            yield from ck.sys_replenish(proc, cli_eps[i], desc)
+            counts["received"] += 1
+            delta = (value - last_value[i]) & 0xFFFFFFFF
+            last_value[i] = value
+            latency = to_us(proc.engine.now - t0)
+            digest = hashlib.sha256(
+                delta.to_bytes(4, "little")).hexdigest()[:16]
+            round_digests[srv_eps[i].name].append(digest)
+            ctrl.note_round(srv_eps[i].name, digest, latency)
+            if slo_flows is not None:
+                slo_flows[i].observe_latency_us(latency, proc.engine.now)
+            if collect is not None:
+                collect.append(latency)
+
+    def client(proc):
+        for _ in range(staged_rounds):
+            yield from one_round(proc, collect=staged_lat)
+        if slo_tel.enabled:
+            # declare the latency objective from the golden cohort: the
+            # canary must stay within the same budget the controller uses
+            from ..telemetry.slo import SloRule
+
+            slo_tel.slo.add_rule(SloRule(
+                "canary_latency",
+                max_latency_us=_mean(staged_lat) * (1.0 + latency_budget),
+            ))
+        ctrl.start_canary()
+        for r in range(canary_rounds):
+            yield from one_round(proc)
+            if crash_during_canary and r == 0:
+                # quiescent-point crash: every request of the round has
+                # been answered, so nothing is in flight to lose — the
+                # canary bindings must ride the boot-record replay back
+                sk.crash()
+                yield from proc.compute_us(crash_outage_us)
+                sk.reboot()
+        ctrl.evaluate()
+        for _ in range(post_rounds):
+            yield from one_round(proc)
+
+    client_proc = ck.spawn_process("client", client)
+    for ep in cli_eps:
+        ep.owner = client_proc
+    tb.run()
+    if not client_proc.sim_proc.triggered:
+        raise RuntimeError(
+            f"canary_rollout({v2}): client stalled at "
+            f"{counts['received']}/{counts['sent']} replies")
+
+    bindings = {ep.name: sk.ash_system.entry(ep.ash_id).version
+                for ep in srv_eps}
+    recoveries_us = [
+        to_us(rec["first_delivery_after_reboot"] - rec["reboot_at"])
+        for rec in sk.crash_log
+        if rec["first_delivery_after_reboot"] is not None
+        and rec["reboot_at"] is not None
+    ]
+    return {
+        "state": ctrl.state,
+        "v2": v2,
+        "canary_flows": ctrl.canary_flows(),
+        "guard_reasons": sorted({r for r, _ in ctrl.guard_trips}),
+        "swaps": ctrl.swaps,
+        "messages_sent": counts["sent"],
+        "replies_received": counts["received"],
+        "lost_messages": sk.lost_messages + ck.lost_messages,
+        "order_violations": (sk.degradation_order_violations
+                             + ck.degradation_order_violations),
+        "final_counters": list(last_value),
+        "bound_versions": bindings,
+        "round_digests": round_digests,
+        "crashes": sk.crash_count,
+        "recoveries": sk.recoveries,
+        "recovery_us": max(recoveries_us) if recoveries_us else None,
+        "ledger": (tb.fault_plane.ledger()
+                   if tb.fault_plane is not None else {}),
+    }

@@ -80,6 +80,20 @@ class SyscallInterface:
         yield from proc.syscall_exit()
         return ash_id
 
+    def sys_ash_install_version(self, proc: "Process", old_id: int,
+                                program, **overrides) -> Generator:
+        """Download a new version of an installed handler: verified and
+        sandboxed like any download, registered as ``old_id``'s upgrade
+        lineage successor.  Both versions coexist until endpoints are
+        rebound (the canary rollout's atomic swap seam); returns the new
+        id."""
+        yield from proc.syscall_enter()
+        new_id = self.ash_system.install_version(old_id, program,
+                                                 **overrides)
+        yield from proc.cpu.exec(2 * len(program.insns), PRIO_KERNEL)
+        yield from proc.syscall_exit()
+        return new_id
+
     def sys_ash_bind(self, proc: "Process", ep: "Endpoint",
                      ash_id: Optional[int]) -> Generator:
         yield from proc.syscall_enter()

@@ -391,16 +391,32 @@ class TcpConnection:
                     break
             if tcb.state is TcpState.ESTABLISHED:
                 return
-        raise ProtocolError(f"{self.name}: connect timed out")
+        # the peer never completed the handshake — most likely it
+        # crashed mid-three-way (its kernel-volatile listen state is
+        # gone); surface the full 4-tuple post-mortem, not a bare string
+        raise self._peer_dead("connect", rounds=MAX_SYN_TRIES)
 
     def accept(self, proc: "Process") -> Generator:
-        """Passive open: wait for SYN, answer SYN+ACK, await the ACK."""
+        """Passive open: wait for SYN, answer SYN+ACK, await the ACK.
+
+        Bounded: ``max_rexmit_rounds`` silent pump rounds with the
+        handshake still incomplete (the client crashed before its ACK,
+        or before even sending SYN) raise the same 4-tuple-carrying
+        :class:`ProtocolError` the data paths use — never an unbounded
+        hang."""
         tcb = self.tcb
         self.endpoint.owner = proc
         tcb.state = TcpState.LISTEN
+        stale_rounds = 0
         while tcb.state is not TcpState.ESTABLISHED:
             got = yield from self._pump(proc, timeout_us=self.rto_us)
-            if not got and tcb.state is TcpState.SYN_RCVD:
+            if got:
+                stale_rounds = 0
+                continue
+            stale_rounds += 1
+            if stale_rounds > self.max_rexmit_rounds:
+                raise self._peer_dead("accept")
+            if tcb.state is TcpState.SYN_RCVD:
                 # retransmit our SYN+ACK (with the same option offer)
                 opts = sack_permitted_option() if tcb.sack_ok else b""
                 yield from self._send_flags(
@@ -540,7 +556,8 @@ class TcpConnection:
             )
         self._cc_event("backoff", now)
 
-    def _peer_dead(self, where: str) -> ProtocolError:
+    def _peer_dead(self, where: str,
+                   rounds: Optional[int] = None) -> ProtocolError:
         """Build the bounded-retransmission give-up error.
 
         It carries everything a post-mortem needs without a re-run: the
@@ -551,9 +568,11 @@ class TcpConnection:
         tcb = self.tcb
         flow = (tcb.local_ip, tcb.local_port, tcb.remote_ip, tcb.remote_port)
         final = tcb.shared.fields()
+        if rounds is None:
+            rounds = self.max_rexmit_rounds
         err = ProtocolError(
             f"{self.name}: peer unresponsive in {where} "
-            f"({self.max_rexmit_rounds} retransmission rounds with no "
+            f"({rounds} retransmission rounds with no "
             f"acknowledgment progress); flow "
             f"{flow[0]:#010x}:{flow[1]} -> {flow[2]:#010x}:{flow[3]}, "
             f"snd_una={final['snd_una']} snd_nxt={tcb.snd_nxt} "

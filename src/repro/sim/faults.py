@@ -203,9 +203,12 @@ class NicStress(_Injector):
                  start_us: Optional[float] = None,
                  stop_us: Optional[float] = None):
         # NIC names repeat across nodes ("an2" on client and server), so
-        # qualify the seam by installation index — deterministic because
-        # injectors are installed in program order
-        super().__init__(plane, f"nic:{nic.name}#{len(plane.injectors)}",
+        # qualify the seam by the owning node — Nic.bind(node) set the
+        # backref before any fault can be installed.  (Node-qualified,
+        # not install-index-qualified: the seam name must not depend on
+        # what *other* injectors a scenario happens to include, or
+        # per-seam stream independence breaks.)
+        super().__init__(plane, f"nic:{nic.node.name}.{nic.name}",
                          skip_first, start_us, stop_us)
         self.nic = nic
         self.exhaust = exhaust
@@ -293,16 +296,33 @@ class NodeCrash(_Injector):
     re-downloaded through the sandbox, VCIs rebound, and the transport
     re-synchronizes from the surviving shared state via its ordinary
     retransmission machinery — bounded recovery, not a hang.
+
+    A **reboot storm** is the same script run ``repeat`` times: crash,
+    outage, reboot, then ``period_us`` after each crash the next one
+    (default 4× the outage, so the node is up ~75% of the storm).  Each
+    cycle's crash/reboot instants are kept in ``storms``.
     """
 
     def __init__(self, plane: "FaultPlane", kernel: "Kernel",
-                 at_us: float, outage_us: float = 500.0):
+                 at_us: float, outage_us: float = 500.0,
+                 repeat: int = 1, period_us: Optional[float] = None):
         super().__init__(plane, f"crash:{kernel.node.name}", 0, None, None)
+        if repeat < 1:
+            raise SimError(f"NodeCrash repeat must be >= 1: {repeat}")
         self.kernel = kernel
         self.at = us(at_us)
         self.outage = us(outage_us)
+        self.repeat = repeat
+        self.period = (us(period_us) if period_us is not None
+                       else 4 * self.outage)
+        if self.repeat > 1 and self.period <= self.outage:
+            raise SimError(
+                f"NodeCrash period_us must exceed outage_us for a storm "
+                f"(period {self.period} <= outage {self.outage})")
         self.crashed_at: Optional[int] = None
         self.rebooted_at: Optional[int] = None
+        #: one record per storm cycle: {"crashed_at", "rebooted_at"}
+        self.storms: list[dict] = []
         plane.engine.spawn(self._script(), name=self.site)
 
     def _script(self):
@@ -310,15 +330,23 @@ class NodeCrash(_Injector):
         delay = self.at - engine.now
         if delay > 0:
             yield engine.timeout(delay)
-        if not self.enabled or self.kernel.crashed:
-            return
-        self.kernel.crash()
-        self.crashed_at = engine.now
-        self.plane.record("node_crash", self.site)
-        yield engine.timeout(self.outage)
-        self.kernel.reboot()
-        self.rebooted_at = engine.now
-        self.plane.record("node_reboot", self.site)
+        for cycle in range(self.repeat):
+            if not self.enabled or self.kernel.crashed:
+                return
+            self.kernel.crash()
+            crashed_at = engine.now
+            if self.crashed_at is None:
+                self.crashed_at = crashed_at
+            self.plane.record("node_crash", self.site)
+            yield engine.timeout(self.outage)
+            self.kernel.reboot()
+            self.rebooted_at = engine.now
+            self.plane.record("node_reboot", self.site)
+            self.storms.append({"crashed_at": crashed_at,
+                                "rebooted_at": self.rebooted_at})
+            if cycle + 1 < self.repeat:
+                # next crash lands period after the previous one
+                yield engine.timeout(self.period - self.outage)
 
 
 class MemPressure(_Injector):
@@ -495,10 +523,13 @@ class FaultPlane:
         return injector
 
     def crash_node(self, kernel: "Kernel", at_us: float,
-                   outage_us: float = 500.0) -> NodeCrash:
+                   outage_us: float = 500.0, repeat: int = 1,
+                   period_us: Optional[float] = None) -> NodeCrash:
         """Script a kernel crash at ``at_us`` and a reboot ``outage_us``
-        later (see NodeCrash)."""
-        crash = NodeCrash(self, kernel, at_us, outage_us)
+        later; ``repeat``/``period_us`` turn it into a reboot storm
+        (see NodeCrash)."""
+        crash = NodeCrash(self, kernel, at_us, outage_us,
+                          repeat=repeat, period_us=period_us)
         self.injectors.append(crash)
         return crash
 

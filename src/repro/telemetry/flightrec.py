@@ -56,6 +56,21 @@ class FlightRecorder:
         """Events pushed out of the ring by newer ones."""
         return self.recorded - len(self.events)
 
+    def resize(self, capacity: int) -> None:
+        """Change the ring capacity in place.
+
+        Shrinking keeps the *newest* events (the deque drops from the
+        left), matching what a smaller ring would have retained; growing
+        cannot resurrect aged-out events.  ``recorded``/``aged_out``
+        accounting is preserved either way.
+        """
+        if capacity < 1:
+            raise ValueError(f"flight ring capacity must be >= 1: {capacity}")
+        if capacity == self.capacity:
+            return
+        self.capacity = capacity
+        self.events = deque(self.events, maxlen=capacity)
+
     def record(self, kind: str, t: int, **detail) -> None:
         """Append one event (no-op while telemetry is disabled)."""
         if not self.telemetry.enabled:

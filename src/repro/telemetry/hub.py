@@ -83,6 +83,17 @@ class Telemetry:
             self._flight = FlightRecorder(self)
         return self._flight
 
+    def configure_flight(self, capacity: int):
+        """Create (or resize) the flight recorder with a given ring
+        capacity, replacing the hard-coded default.  Returns it."""
+        if self._flight is None:
+            from .flightrec import FlightRecorder
+
+            self._flight = FlightRecorder(self, capacity=capacity)
+        else:
+            self._flight.resize(capacity)
+        return self._flight
+
     # -- instrument shortcuts ------------------------------------------
     def counter(self, name: str, **labels) -> Counter:
         return self.registry.counter(name, **labels)

@@ -372,6 +372,104 @@ class TestPeerDeath:
         assert client.tcb.retransmits >= 3
 
 
+class TestHandshakeCrash:
+    """``Kernel.crash()`` during the three-way handshake must surface a
+    bounded, 4-tuple-carrying ProtocolError — never an unbounded hang."""
+
+    def test_connect_gives_up_when_server_crashes_mid_handshake(self):
+        from repro.errors import ProtocolError
+        from repro.net.headers import ip_aton
+        from repro.net.tcp.tcb import SHARED_TCB_FIELDS, SHARED_TCB_SIZE
+        from repro.net.tcp.tcp import MAX_SYN_TRIES
+
+        tb, client, server = build_pair(rto_us=5_000.0, max_rexmit_rounds=3)
+        caught, server_err = [], []
+
+        def chaos(proc):
+            # kill the server with the client's SYN in flight and never
+            # reboot: its kernel-volatile listen state is gone for good
+            yield from proc.compute_us(5.0)
+            tb.server_kernel.crash()
+
+        def s(proc):
+            try:
+                yield from server.accept(proc)
+            except ProtocolError as exc:
+                server_err.append(exc)
+
+        def c(proc):
+            try:
+                yield from client.connect(proc)
+            except ProtocolError as exc:
+                caught.append(exc)
+
+        tb.server_kernel.spawn_process("server", s)
+        tb.client_kernel.spawn_process("client", c)
+        tb.client_kernel.spawn_process("chaos", chaos)
+        tb.run()
+        assert len(caught) == 1
+        err = caught[0]
+        assert "connect" in str(err)
+        assert str(MAX_SYN_TRIES) in str(err)
+        assert err.flow == (ip_aton("10.0.0.1"), 5000, ip_aton("10.0.0.2"), 80)
+        assert set(err.tcb_final) == set(SHARED_TCB_FIELDS)
+        assert len(err.tcb_blob) == SHARED_TCB_SIZE
+        assert client.tcb.state is not TcpState.ESTABLISHED
+
+    def test_accept_gives_up_when_client_crashes_before_syn(self):
+        from repro.errors import ProtocolError
+        from repro.net.headers import ip_aton
+
+        tb, client, server = build_pair(rto_us=5_000.0, max_rexmit_rounds=3)
+        tb.client_kernel.crash()  # the client dies before sending SYN
+        caught = []
+
+        def s(proc):
+            try:
+                yield from server.accept(proc)
+            except ProtocolError as exc:
+                caught.append(exc)
+
+        tb.server_kernel.spawn_process("server", s)
+        tb.run()
+        assert len(caught) == 1
+        err = caught[0]
+        assert "accept" in str(err)
+        assert err.flow == (ip_aton("10.0.0.2"), 80, ip_aton("10.0.0.1"), 5000)
+        assert server.tcb.state is not TcpState.ESTABLISHED
+
+    def test_connect_recovers_when_server_reboots_within_retries(self):
+        """A crash + reboot inside the SYN-retry budget re-establishes
+        through ordinary retransmission — no error, no special path."""
+        tb, client, server = build_pair(rto_us=5_000.0)
+        got = []
+
+        def chaos(proc):
+            yield from proc.compute_us(5.0)
+            tb.server_kernel.crash()
+            yield from proc.compute_us(2_000.0)
+            tb.server_kernel.reboot()
+
+        def s(proc):
+            yield from server.accept(proc)
+            data = yield from server.read(proc, 4)
+            yield from server.write(proc, data.upper())
+
+        def c(proc):
+            yield from client.connect(proc)
+            yield from client.write(proc, b"ping")
+            got.append((yield from client.read(proc, 4)))
+
+        tb.server_kernel.spawn_process("server", s)
+        tb.client_kernel.spawn_process("client", c)
+        tb.client_kernel.spawn_process("chaos", chaos)
+        tb.run()
+        assert client.tcb.state is TcpState.ESTABLISHED
+        assert server.tcb.state is TcpState.ESTABLISHED
+        assert got == [b"PING"]
+        assert tb.server_kernel.recoveries == 1
+
+
 class TestClose:
     def test_fin_exchange_gives_eof(self):
         tb, client, server = build_pair()

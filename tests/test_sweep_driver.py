@@ -1,0 +1,71 @@
+"""Tier-1 gate: the unified chaos-sweep driver's smoke corner.
+
+``benchmarks/sweep_driver.py --smoke`` runs a 2×2×2 corner of the full
+workload × fault-scenario × substrate grid (tcp_bulk and canary, clean
+and crashed, fast and legacy) and must produce a schema-clean document
+whose every summary gate holds: bit-identity across substrates, zero
+order violations, correct rollout verdicts, every crash recovered
+within its pinned recovery-latency bound, zero canary losses.
+"""
+
+import importlib.util
+import json
+import os
+
+
+def _load_driver():
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "benchmarks", "sweep_driver.py",
+    )
+    spec = importlib.util.spec_from_file_location("sweep_driver", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_smoke_grid_green(tmp_path):
+    driver = _load_driver()
+    out = tmp_path / "liveops_sweep_smoke.json"
+    assert driver.main(["--smoke", "--out", str(out)]) == 0
+    with open(out) as fh:
+        doc = json.load(fh)
+    assert driver.validate_doc(doc) == []
+    assert doc["schema"] == driver.SCHEMA
+    assert doc["quick"] is True
+    summary = doc["summary"]
+    assert summary["all_identical"]
+    assert summary["zero_order_violations"]
+    assert summary["all_rollouts_correct"]
+    assert summary["all_crashes_recovered"]
+    assert summary["all_recoveries_within_bounds"]
+    assert summary["zero_canary_losses"]
+    # the smoke corner still exercises both workloads, both substrates,
+    # and at least one crash scenario per workload
+    workloads = {cell["workload"] for cell in doc["grid"]}
+    scenarios = {cell["scenario"] for cell in doc["grid"]}
+    assert workloads == {"tcp_bulk", "canary"}
+    assert any("crash" in s for s in scenarios)
+    crash_cells = [c for c in doc["grid"] if c.get("recovered")]
+    assert crash_cells
+    for cell in crash_cells:
+        assert cell["recovery_within_bound"], cell["scenario"]
+
+
+def test_committed_full_grid_baseline_schema_clean():
+    """The checked-in BENCH_liveops.json (full grid) stays loadable,
+    schema-clean, and covers every pinned recovery bound."""
+    driver = _load_driver()
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_liveops.json",
+    )
+    with open(path) as fh:
+        doc = json.load(fh)
+    assert driver.validate_doc(doc) == []
+    assert doc["quick"] is False
+    lat = doc["summary"]["recovery_latencies"]
+    for scenario, bound in driver.RECOVERY_BOUND_US.items():
+        key = scenario.replace("/", "_") + "_recovery_us"
+        assert key in lat
+        assert lat[key] <= bound, (scenario, lat[key], bound)
