@@ -18,7 +18,8 @@ metric that moved past the threshold in the bad direction:
   suffixes, ``virtual_ns``, ``simulated_cycles*``: simulated time/cost,
   fully deterministic, a >N% rise is a real regression.
 * **higher is better** — ``goodput_mbps``: simulated throughput;
-  ``jain_index``: per-flow fairness on contended links.
+  ``jain_index``: per-flow fairness on contended links;
+  ``isolation_ratio``: tenant-contended vs solo victim goodput.
 * **skipped by default** — wall-clock-noisy leaves (``*_per_sec``,
   ``wall_s``, ``speedup_*``): they measure the host machine, not the
   model; compare them with ``--include-wallclock`` only on pinned
@@ -50,7 +51,7 @@ DEFAULT_THRESHOLD = 0.10  # fractional change that counts as a regression
 #: name-suffix → direction; first match wins ("lower" / "higher")
 LOWER_IS_BETTER = ("elapsed_us", "recovery_us", "latency_us", "virtual_ns")
 LOWER_PREFIXES = ("simulated_cycles",)
-HIGHER_IS_BETTER = ("goodput_mbps", "jain_index")
+HIGHER_IS_BETTER = ("goodput_mbps", "jain_index", "isolation_ratio")
 #: wall-clock-dependent leaves: excluded unless explicitly requested
 WALLCLOCK_MARKERS = ("_per_sec", "wall_s", "speedup_")
 

@@ -116,6 +116,21 @@ KNOWN_METRICS = {
     "ash.sandbox_overhead_cycles_est": "counters",
     "ash.sandbox_added_insns": "gauges",
     "ash.budget_remaining_cycles": "gauges",
+    # multi-tenant isolation plane (ash/tenancy.py)
+    "tenant.admitted": "counters",
+    "tenant.admitted_bytes": "counters",
+    "tenant.throttled": "counters",
+    "tenant.dropped": "counters",
+    "tenant.cycle_throttled": "counters",
+    "tenant.cycles_used": "counters",
+    "tenant.reclaims": "counters",
+    "tenant.pktbuf_denied": "counters",
+    "tenant.quota_violations": "counters",
+    "tenant.installs_refused": "counters",
+    "tenant.kills": "counters",
+    "tenant.order_violations": "counters",
+    "tenant.buffers_held": "gauges",
+    "tenant.cycle_usage": "gauges",
     # VCODE JIT (vcode/jit.py, vcode/vm.py)
     "vcode.jit.compile_cycles": "counters",
     "vcode.jit.cache_hits": "counters",

@@ -173,6 +173,7 @@ def capture_canonical_telemetry(metrics_out: str | None) -> None:
     from repro.bench.workloads import (
         canary_rollout,
         remote_increment,
+        tenant_world,
         udp_pingpong,
     )
 
@@ -183,6 +184,10 @@ def capture_canonical_telemetry(metrics_out: str | None) -> None:
         # liveops.* metrics and the rollout flight events
         canary_rollout(flows=2, staged_rounds=2, canary_rounds=2,
                        post_rounds=1, v2="identical")
+        # a small two-tenant world (leaky aggressor vs. TCP and
+        # active-message victims) so the sidecar carries the tenant.*
+        # plane: admission, reclaim and quota counters
+        tenant_world(scenario="leak", rounds=3)
     metrics_path, trace_path = write_sidecars(sess, "canonical", metrics_out)
     print(f"wrote {metrics_path}")
     print(f"wrote {trace_path}")

@@ -27,10 +27,17 @@ bindings ride the boot-record replay), an identical v2 must promote
 even under link jitter, and every cell must be bit-identical across
 substrates with zero lost messages and zero order violations.
 
-``--smoke`` runs a 2×2×2 corner of the grid (one crash scenario per
-workload, both substrates) — wired into tier 1 via
-``tests/test_sweep_driver.py``, writing outside the repo root so the
-committed full-grid baseline is untouched.
+The multi-tenant workload rides the grid too: a two-tenant
+noisy-neighbor cell (victim bulk transfer vs. an admission-clipped
+aggressor) with a *pinned containment bound* — the protected victim
+must keep at least ``ISOLATION_BOUND_RATIO`` of its solo goodput and
+deliver a bit-identical payload, asserted per cell like the recovery
+bounds.
+
+``--smoke`` runs a small corner of the grid (one crash scenario per
+crashable workload, the two-tenant cell, both substrates) — wired into
+tier 1 via ``tests/test_sweep_driver.py``, writing outside the repo
+root so the committed full-grid baseline is untouched.
 """
 
 from __future__ import annotations
@@ -47,7 +54,8 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 os.pardir, "src"))
 
 from repro.bench.testbed import make_an2_pair                    # noqa: E402
-from repro.bench.workloads import canary_rollout                 # noqa: E402
+from repro.bench.workloads import (canary_rollout,               # noqa: E402
+                                   tenant_noisy_neighbor)
 from repro.net.socket_api import make_stacks, tcp_pair           # noqa: E402
 from repro.sim.engine import Engine                              # noqa: E402
 
@@ -67,6 +75,14 @@ RECOVERY_BOUND_US = {
     "tcp_bulk/handshake_crash": 90_000.0,
     "tcp_bulk/reboot_storm": 90_000.0,
     "canary/server_crash": 5_000.0,
+}
+
+#: pinned noisy-neighbor containment bound: the protected victim keeps
+#: at least this fraction of its solo goodput no matter the aggressor's
+#: offered load.  A declared budget like RECOVERY_BOUND_US — lowering
+#: it is a conscious baseline change.
+ISOLATION_BOUND_RATIO = {
+    "tenant/noisy_neighbor": 0.9,
 }
 
 
@@ -154,6 +170,23 @@ def run_canary(substrate: str, v2: str, crash: bool = False,
     )
 
 
+def run_tenant(substrate: str, intensity_fps: int, total_kb: int) -> dict:
+    """One protected two-tenant noisy-neighbor cell: the victim bulk
+    transfer contended by an admission-clipped aggressor, plus the solo
+    run that anchors the isolation ratio."""
+    solo = tenant_noisy_neighbor(substrate=substrate, intensity_fps=0,
+                                 protected=True, total_kb=total_kb)
+    contended = tenant_noisy_neighbor(
+        substrate=substrate, intensity_fps=intensity_fps,
+        protected=True, total_kb=total_kb)
+    out = dict(contended)
+    out["solo_goodput_mbps"] = solo["goodput_mbps"]
+    out["isolation_ratio"] = round(
+        contended["goodput_mbps"] / solo["goodput_mbps"], 4)
+    out["victim_intact"] = contended["payload_sha"] == solo["payload_sha"]
+    return out
+
+
 # ---------------------------------------------------------------------------
 # the grid
 # ---------------------------------------------------------------------------
@@ -189,19 +222,27 @@ def grid_cells(smoke: bool, nbytes: int) -> list[dict]:
          "kwargs": {"v2": "identical", "jitter_us": 20.0},
          "expect_state": "promoted"},
     ]
+    tenant = [
+        {"workload": "tenant", "scenario": "noisy_neighbor",
+         "kwargs": {"intensity_fps": 60_000,
+                    "total_kb": 48 if smoke else 96},
+         "expect_isolated": True},
+    ]
     if smoke:
-        # the 2×2×2 corner: 2 workloads × 2 scenarios × 2 substrates
+        # the smoke corner: one crash scenario per crashable workload,
+        # plus the two-tenant cell, on both substrates
         tcp = [c for c in tcp if c["scenario"] in ("none", "client_crash")]
         canary = [c for c in canary
                   if c["scenario"] in ("none", "server_crash")]
     for cell in tcp:
         cell["kwargs"]["nbytes"] = nbytes
-    return tcp + canary
+    return tcp + canary + tenant
 
 
 def run_cell(cell: dict) -> dict:
     """Run one grid cell on both substrates; returns the cell record."""
-    runner = run_tcp_bulk if cell["workload"] == "tcp_bulk" else run_canary
+    runner = {"tcp_bulk": run_tcp_bulk, "canary": run_canary,
+              "tenant": run_tenant}[cell["workload"]]
     fast = runner("fast", **cell["kwargs"])
     legacy = runner("legacy", **cell["kwargs"])
     record = {
@@ -222,6 +263,12 @@ def run_cell(cell: dict) -> dict:
             record["recovery_within_bound"] = (
                 fast.get("recovery_us") is not None
                 and fast["recovery_us"] <= bound)
+    if cell.get("expect_isolated"):
+        bound = ISOLATION_BOUND_RATIO[
+            f"{cell['workload']}/{cell['scenario']}"]
+        record["isolation_bound"] = bound
+        record["isolation_within_bound"] = (
+            fast["victim_intact"] and fast["isolation_ratio"] >= bound)
     return record
 
 
@@ -247,16 +294,26 @@ def bench(smoke: bool) -> dict:
         if "state_ok" in record:
             extras.append(f"state={obs['state']}"
                           f"{'' if record['state_ok'] else ' (WRONG)'}")
+        if "isolation_within_bound" in record:
+            extras.append(
+                f"isolation={obs['isolation_ratio']:.4f}"
+                f"{'' if record['isolation_within_bound'] else ' (BROKEN)'}")
         print(f"  {record['workload']:>9s} × {record['scenario']:<16s} "
               f"ov={obs['order_violations']} "
               f"{'identical' if record['identical'] else 'DIVERGED'} "
               + " ".join(extras))
 
     recovery_bounds = {}
+    isolation_ratios = {}
     for record in out["grid"]:
-        if record.get("observables", {}).get("recovery_us") is not None:
+        obs = record.get("observables", {})
+        if obs.get("recovery_us") is not None:
             key = f"{record['workload']}_{record['scenario']}_recovery_us"
-            recovery_bounds[key] = record["observables"]["recovery_us"]
+            recovery_bounds[key] = obs["recovery_us"]
+        if "isolation_ratio" in obs:
+            key = f"{record['workload']}_{record['scenario']}" \
+                  f"_isolation_ratio"
+            isolation_ratios[key] = obs["isolation_ratio"]
     out["summary"] = {
         "cells": len(out["grid"]),
         "all_identical": all(r["identical"] for r in out["grid"]),
@@ -271,7 +328,10 @@ def bench(smoke: bool) -> dict:
         "zero_canary_losses": all(
             r["observables"].get("lost_messages", 0) == 0
             for r in out["grid"] if r["workload"] == "canary"),
+        "all_isolation_within_bounds": all(
+            r.get("isolation_within_bound", True) for r in out["grid"]),
         "recovery_latencies": recovery_bounds,
+        "isolation_ratios": isolation_ratios,
     }
     return out
 
@@ -302,6 +362,11 @@ def validate_doc(doc: dict) -> list[str]:
             for key in ("state", "lost_messages", "canary_flows"):
                 if key not in obs:
                     errors.append(f"{where}: canary observables missing {key}")
+        if record.get("workload") == "tenant":
+            for key in ("isolation_ratio", "victim_intact",
+                        "aggressor_dropped", "goodput_mbps"):
+                if key not in obs:
+                    errors.append(f"{where}: tenant observables missing {key}")
     summary = doc.get("summary")
     if not isinstance(summary, dict):
         errors.append("summary: missing")
@@ -309,7 +374,8 @@ def validate_doc(doc: dict) -> list[str]:
     for key in ("cells", "all_identical", "zero_order_violations",
                 "all_rollouts_correct", "all_crashes_recovered",
                 "all_recoveries_within_bounds", "zero_canary_losses",
-                "recovery_latencies"):
+                "all_isolation_within_bounds", "recovery_latencies",
+                "isolation_ratios"):
         if key not in summary:
             errors.append(f"summary: missing {key}")
     return errors
@@ -348,7 +414,8 @@ def main(argv=None) -> int:
                                 "all_rollouts_correct",
                                 "all_crashes_recovered",
                                 "all_recoveries_within_bounds",
-                                "zero_canary_losses")
+                                "zero_canary_losses",
+                                "all_isolation_within_bounds")
                 if not summary[key]]
     for key in failures:
         print(f"ERROR: summary.{key} is false", file=sys.stderr)

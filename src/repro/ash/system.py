@@ -414,6 +414,11 @@ class AshSystem:
             forced = injector.consider()
             if forced is not None:
                 budget = forced
+        tenants = kernel.tenants
+        if tenants is not None:
+            forced = tenants.consider_abort(ep)
+            if forced is not None:
+                budget = forced
         # the abort timer is wall-clock: a contention burst landing
         # inside the handler's window eats its cycle budget, possibly
         # down to a forced involuntary abort (which then degrades in
@@ -439,6 +444,8 @@ class AshSystem:
             desc.meta["ash_aborted"] = True
             burnt = getattr(exc, "cycles", 0)
             entry.account.charge(burnt)
+            if tenants is not None:
+                tenants.note_abort(ep, burnt)
             yield from cpu.exec(burnt, PRIO_INTERRUPT)
             if uses_timer:
                 yield from cpu.exec_us(cal.ash_timer_clear_us, PRIO_INTERRUPT)
@@ -460,6 +467,8 @@ class AshSystem:
         if uses_timer:
             yield from cpu.exec_us(cal.ash_timer_clear_us, PRIO_INTERRUPT)
         remaining = entry.account.charge(result.cycles)
+        if tenants is not None:
+            tenants.note_success(ep, result.cycles)
         if span is not None:
             span.stage("ash_run", kernel.engine.now)
         if tel.enabled:

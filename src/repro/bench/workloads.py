@@ -49,6 +49,9 @@ __all__ = [
     "remote_increment",
     "RemoteIncrementResult",
     "canary_rollout",
+    "tenant_world",
+    "tenant_noisy_neighbor",
+    "TENANT_SCENARIOS",
 ]
 
 SERVER_IP = "10.0.0.2"
@@ -794,4 +797,479 @@ def canary_rollout(
         "recovery_us": max(recoveries_us) if recoveries_us else None,
         "ledger": (tb.fault_plane.ledger()
                    if tb.fault_plane is not None else {}),
+    }
+
+
+# ---------------------------------------------------------------------------
+# multi-tenant isolation: noisy-neighbor containment worlds
+# ---------------------------------------------------------------------------
+
+#: every abuse scenario tenant_world() can stage.  The first four run a
+#: fully concurrent world (TCP victim + AM victim + aggressor) because
+#: the abuse is clipped at zero-simulated-cost points; the last three
+#: perturb the aggressor's *runtime* (which costs CPU), so the world is
+#: slot-paced to keep the divergence inside the aggressor's slots.
+TENANT_SCENARIOS = (
+    "flood", "leak", "hog_install", "crash_loop",
+    "tenant_crash", "hog_runtime", "abort_runtime",
+)
+
+_CONCURRENT_SCENARIOS = ("flood", "leak", "hog_install", "crash_loop")
+
+#: a quota so large it never binds — the victims' knobs must not be the
+#: thing keeping them unharmed
+_GENEROUS = dict(rings=8, buffers=64, handler_cycles=10_000_000,
+                 bytes_per_round=1_000_000_000, burst_bytes=1_000_000_000)
+
+AGGRESSOR_VCI = 30
+AM_VICTIM_VCI = 20          #: client->server AM request circuits: 20, 21
+AM_REPLY_VCI = 120          #: server->client AM reply circuits: 120, 121
+
+
+def _build_sink(pad_insns: int = 0, name: str = "sink"):
+    """A consume-only handler: swallows the message, sends **nothing**.
+
+    The aggressor's handler must not reply — reply traffic would reach
+    the client node, and throttling it server-side would perturb the
+    client's interrupt timing, breaking the victims' bit-identity bar.
+    ``pad_insns`` adds straight-line work (cycle-quota fodder).
+    """
+    from ..ash.handler import AshBuilder
+
+    b = AshBuilder(name)
+    if pad_insns:
+        pad = b.getreg()
+        one = b.getreg()
+        b.v_li(pad, 0)
+        b.v_li(one, 1)
+        for _ in range(pad_insns):
+            b.v_addu(pad, pad, one)
+        b.putreg(pad)
+        b.putreg(one)
+    b.v_consume()
+    return b.finish()
+
+
+def _build_spin(name: str = "spin"):
+    """A handler with a backward branch: unverifiable under the
+    static-estimate budget policy (the crash-loop install payload)."""
+    from ..ash.handler import AshBuilder
+
+    b = AshBuilder(name)
+    ctr = b.getreg()
+    one = b.getreg()
+    lim = b.getreg()
+    b.v_li(ctr, 0)
+    b.v_li(one, 1)
+    b.v_li(lim, 8)
+    top = b.label("top")
+    b.mark(top)
+    b.v_addu(ctr, ctr, one)
+    b.v_bne(ctr, lim, top)
+    b.v_consume()
+    return b.finish()
+
+
+def _am_flow(tb, manager, tenant: str, req_vci: int, reply_vci: int):
+    """One AM remote-increment victim flow owned by ``tenant``: server
+    endpoint + state block + v1 handler, client reply endpoint."""
+    sk, ck = tb.server_kernel, tb.client_kernel
+    mem = tb.server.memory
+    srv_ep = sk.create_endpoint_an2(tb.server_nic, req_vci, tenant=tenant)
+    cli_ep = ck.create_endpoint_an2(tb.client_nic, reply_vci)
+    state = mem.alloc(f"tenant_{tenant}_state", 64)
+    params_addr = state.base + 32
+    mem.store_u32(params_addr + PARAM_COUNTER, state.base)
+    mem.store_u32(params_addr + PARAM_REPLY_VCI, reply_vci)
+    mem.store_u32(params_addr + PARAM_SCRATCH, state.base + 16)
+    ash_id = manager.download(
+        tenant, build_remote_increment(),
+        allowed_regions=[(state.base, 64)], user_word=params_addr)
+    sk.ash_system.bind(srv_ep, ash_id)
+    return srv_ep, cli_ep, state.base
+
+
+def _install_abuse(tb, manager, scenario: str, perturbed: bool,
+                   fault_seed: int, abuse_at_us: float):
+    """Attach the scenario's tenant-scoped injectors (perturbed runs
+    only — the baseline is the identical world minus the abuse)."""
+    if not perturbed:
+        return
+    from ..sandbox.rewriter import BudgetPolicy, SandboxPolicy
+
+    plane = tb.attach_fault_plane(seed=fault_seed)
+    static = SandboxPolicy(budget=BudgetPolicy.STATIC_ESTIMATE)
+    if scenario == "flood":
+        plane.flood_tenant(tb.server_nic, AGGRESSOR_VCI,
+                           frame_bytes=4000, count=40,
+                           start_us=abuse_at_us, gap_us=37.0)
+    elif scenario == "leak":
+        plane.leak_tenant(manager, "mallory")
+    elif scenario == "hog_install":
+        plane.script_tenant(manager, "mallory", at_us=abuse_at_us,
+                            action="install_hog",
+                            program=_build_sink(4000, "hog"),
+                            allowed_regions=[], policy=static, attempts=4)
+    elif scenario == "crash_loop":
+        plane.script_tenant(manager, "mallory", at_us=abuse_at_us,
+                            action="install_crashloop",
+                            program=_build_spin(),
+                            allowed_regions=[], policy=static, attempts=4)
+    elif scenario == "tenant_crash":
+        plane.script_tenant(manager, "mallory", at_us=abuse_at_us,
+                            action="crash")
+    elif scenario == "hog_runtime":
+        plane.hog_tenant(manager, "mallory", factor=64)
+    elif scenario == "abort_runtime":
+        plane.abortloop_tenant(manager, "mallory", every=1)
+    else:
+        raise ValueError(f"unknown tenant scenario {scenario!r}")
+
+
+def _victim_slice(manager, name: str) -> dict:
+    """The tenant's own telemetry slice — part of the identity bar."""
+    return manager.stats()["tenants"][name]
+
+
+def tenant_world(
+    cal: Calibration = DEFAULT,
+    substrate: Optional[str] = None,
+    ncores: int = 1,
+    scenario: str = "flood",
+    perturbed: bool = True,
+    rounds: int = 10,
+    slot_us: float = 60.0,
+    payload_kb: int = 24,
+    abuse_at_us: float = 700.0,
+    fault_seed: int = 7,
+) -> dict:
+    """A multi-tenant world with one abusive tenant, and the receipts.
+
+    Three tenants share the server's NIC, pktbuf pool and CPU under a
+    :class:`~repro.ash.tenancy.TenantManager`: two victims and
+    ``mallory``, the aggressor the ``scenario`` perturbs.  Running the
+    same world with ``perturbed=False`` gives the unperturbed baseline;
+    the containment bar is that every victim observable in the returned
+    dict — flow digests, latencies, counters, the victims' own tenant
+    telemetry, and (concurrent scenarios) TCP congestion digests — is
+    **bit-identical** between the two runs, on both substrates and any
+    SMP core count.
+
+    Concurrent scenarios (``flood`` / ``leak`` / ``hog_install`` /
+    ``crash_loop``): victims are a TCP bulk flow (tenant ``alice``) and
+    an AM remote-increment flow (``bob``) running *fully concurrently*
+    with the aggressor's traffic — the abuse is clipped at points that
+    cost zero simulated time (pre-DMA admission, host-level install
+    refusal, replenish-side reclaim).
+
+    Slot-paced scenarios (``tenant_crash`` / ``hog_runtime`` /
+    ``abort_runtime``): the abuse perturbs how much CPU the aggressor's
+    *handler* burns, so two AM victims (``bob``, ``carol``) and the
+    aggressor take strictly interleaved slots wide enough
+    (``slot_us``) that the aggressor's divergence drains before a
+    victim's next message arrives.
+    """
+    from ..ash.tenancy import TenantManager
+    from ..sim.engine import Engine
+
+    if scenario not in TENANT_SCENARIOS:
+        raise ValueError(f"unknown tenant scenario {scenario!r}")
+    engine = Engine(substrate=substrate) if substrate else Engine()
+    tb = make_an2_pair(cal, engine=engine, ncores=ncores)
+    sk, ck = tb.server_kernel, tb.client_kernel
+    manager = TenantManager(sk)
+    concurrent = scenario in _CONCURRENT_SCENARIOS
+
+    mallory_quota = dict(rings=4, buffers=4, handler_cycles=100_000,
+                         bytes_per_round=1_000_000, burst_bytes=100_000)
+    if scenario == "flood":
+        # 4-byte request frames sail through; the flood's 4000-byte
+        # frames can never fit the burst — clipped pre-DMA, every one
+        mallory_quota.update(bytes_per_round=8192, burst_bytes=2048)
+    elif scenario == "hog_install":
+        mallory_quota.update(handler_cycles=1500)
+    elif scenario == "hog_runtime":
+        mallory_quota.update(handler_cycles=3000)
+    manager.create("mallory", **mallory_quota)
+
+    # -- aggressor data path -------------------------------------------------
+    if scenario == "leak":
+        # the leak seam lives on the replenish syscall, so the leaking
+        # tenant runs an ordinary ring+replenish application (no ASH)
+        mal_ep = sk.create_endpoint_an2(tb.server_nic, AGGRESSOR_VCI,
+                                        tenant="mallory")
+
+        def mallory_app(proc):
+            while True:
+                desc = yield from sk.sys_recv_block(proc, mal_ep)
+                yield from proc.compute_us(1.0)
+                yield from sk.sys_replenish(proc, mal_ep, desc)
+
+        mal_ep.owner = sk.spawn_process("mallory-app", mallory_app)
+    else:
+        mal_ep = sk.create_endpoint_an2(tb.server_nic, AGGRESSOR_VCI,
+                                        tenant="mallory")
+        pad = 200 if not concurrent else 0
+        sink_id = manager.download("mallory", _build_sink(pad),
+                                   allowed_regions=[])
+        sk.ash_system.bind(mal_ep, sink_id)
+
+    _install_abuse(tb, manager, scenario, perturbed, fault_seed, abuse_at_us)
+
+    observables: dict = {
+        "scenario": scenario,
+        "perturbed": perturbed,
+        "substrate": engine.substrate,
+        "ncores": ncores,
+    }
+    victims: dict = {}
+    agg_frame = (1).to_bytes(4, "little")
+
+    if concurrent:
+        manager.create("alice", **_GENEROUS)
+        manager.create("bob", **_GENEROUS)
+        cstack, sstack = make_stacks(tb, CLIENT_IP, SERVER_IP)
+        client_conn, server_conn = tcp_pair(cstack, sstack)
+        manager.adopt_endpoint("alice", server_conn.endpoint)
+        bob_ep, bob_cli, bob_counter = _am_flow(
+            tb, manager, "bob", AM_VICTIM_VCI, AM_REPLY_VCI)
+
+        total_bytes = payload_kb * 1024
+        rx_hash = hashlib.sha256()
+        tcp_span = {}
+        bob_lat: list[float] = []
+        bob_hash = hashlib.sha256()
+
+        def tcp_server(proc):
+            yield from server_conn.accept(proc)
+            remaining = total_bytes
+            while remaining:
+                data = yield from server_conn.read(proc, min(remaining, 8192))
+                if not data:
+                    break
+                rx_hash.update(bytes(data))
+                remaining -= len(data)
+            yield from server_conn.write(proc, b"done")
+
+        def tcp_client(proc):
+            yield from client_conn.connect(proc)
+            payload = bytes(range(256)) * (total_bytes // 256)
+            tcp_span["start"] = proc.engine.now
+            sent = 0
+            while sent < total_bytes:
+                n = min(4096, total_bytes - sent)
+                yield from client_conn.write(proc, payload[sent:sent + n])
+                sent += n
+            yield from client_conn.read(proc, 4)
+            tcp_span["end"] = proc.engine.now
+
+        def bob_client(proc):
+            for _ in range(rounds):
+                t0 = proc.engine.now
+                yield from ck.sys_net_send(
+                    proc, tb.client_nic, Frame(agg_frame, vci=AM_VICTIM_VCI))
+                desc = yield from ck.sys_recv_poll(proc, bob_cli)
+                bob_hash.update(bytes(
+                    tb.client.memory.read(desc.addr, desc.length)))
+                yield from ck.sys_replenish(proc, bob_cli, desc)
+                bob_lat.append(to_us(proc.engine.now - t0))
+                yield from proc.compute_us(150.0)
+
+        def aggressor_client(proc):
+            for _ in range(rounds * 2):
+                yield from ck.sys_net_send(
+                    proc, tb.client_nic, Frame(agg_frame, vci=AGGRESSOR_VCI))
+                yield from proc.compute_us(140.0)
+
+        sk.spawn_process("tcp-server", tcp_server)
+        tcp_proc = ck.spawn_process("tcp-client", tcp_client)
+        bob_proc = ck.spawn_process("bob-client", bob_client)
+        bob_cli.owner = bob_proc
+        ck.spawn_process("mallory-client", aggressor_client)
+        tb.run()
+        if "end" not in tcp_span or len(bob_lat) != rounds:
+            raise RuntimeError(
+                f"tenant_world({scenario}): victims stalled "
+                f"(tcp={'end' in tcp_span}, am={len(bob_lat)}/{rounds})")
+
+        victims["alice"] = {
+            "cc_client": client_conn.congestion_digest(),
+            "cc_server": server_conn.congestion_digest(),
+            "payload_sha": rx_hash.hexdigest(),
+            "bytes": total_bytes,
+            "elapsed_us": round(to_us(tcp_span["end"] - tcp_span["start"]), 6),
+            "rx_count": server_conn.endpoint.rx_count,
+            "tenant": _victim_slice(manager, "alice"),
+        }
+        victims["bob"] = {
+            "counter": tb.server.memory.load_u32(bob_counter),
+            "latencies_us": [round(x, 6) for x in bob_lat],
+            "reply_digest": bob_hash.hexdigest(),
+            "rx_count": bob_ep.rx_count,
+            "tenant": _victim_slice(manager, "bob"),
+        }
+    else:
+        manager.create("bob", **_GENEROUS)
+        manager.create("carol", **_GENEROUS)
+        flows = {
+            "bob": _am_flow(tb, manager, "bob",
+                            AM_VICTIM_VCI, AM_REPLY_VCI),
+            "carol": _am_flow(tb, manager, "carol",
+                              AM_VICTIM_VCI + 1, AM_REPLY_VCI + 1),
+        }
+        lat: dict[str, list[float]] = {name: [] for name in flows}
+        hashes = {name: hashlib.sha256() for name in flows}
+
+        def client(proc):
+            for _ in range(rounds):
+                # aggressor slot: fire-and-forget; any CPU-divergence
+                # the abuse causes server-side drains within the slot
+                yield from ck.sys_net_send(
+                    proc, tb.client_nic, Frame(agg_frame, vci=AGGRESSOR_VCI))
+                yield from proc.compute_us(slot_us)
+                for name, (srv_ep, cli_ep, _base) in flows.items():
+                    t0 = proc.engine.now
+                    yield from ck.sys_net_send(
+                        proc, tb.client_nic,
+                        Frame(agg_frame, vci=srv_ep.vci))
+                    desc = yield from ck.sys_recv_poll(proc, cli_ep)
+                    hashes[name].update(bytes(
+                        tb.client.memory.read(desc.addr, desc.length)))
+                    yield from ck.sys_replenish(proc, cli_ep, desc)
+                    lat[name].append(to_us(proc.engine.now - t0))
+                    yield from proc.compute_us(slot_us)
+
+        client_proc = ck.spawn_process("client", client)
+        for _name, (_srv, cli_ep, _base) in flows.items():
+            cli_ep.owner = client_proc
+        tb.run()
+        if not client_proc.sim_proc.triggered:
+            raise RuntimeError(f"tenant_world({scenario}): client stalled")
+        for name, (srv_ep, _cli, counter) in flows.items():
+            victims[name] = {
+                "counter": tb.server.memory.load_u32(counter),
+                "latencies_us": [round(x, 6) for x in lat[name]],
+                "reply_digest": hashes[name].hexdigest(),
+                "rx_count": srv_ep.rx_count,
+                "tenant": _victim_slice(manager, name),
+            }
+
+    observables["victims"] = victims
+    observables["order_violations"] = manager.order_violations
+    observables["aggressor"] = _victim_slice(manager, "mallory")
+    observables["ledger"] = (tb.fault_plane.ledger()
+                             if tb.fault_plane is not None else {})
+    return observables
+
+
+def tenant_noisy_neighbor(
+    cal: Calibration = DEFAULT,
+    substrate: Optional[str] = None,
+    ncores: int = 1,
+    intensity_fps: int = 0,
+    protected: bool = True,
+    total_kb: int = 96,
+    frame_bytes: int = 1024,
+    duration_s: float = 0.04,
+) -> dict:
+    """The goodput-isolation experiment behind ``BENCH_tenancy.json``.
+
+    A victim TCP bulk transfer (tenant ``alice``) shares the server
+    with an aggressor (``mallory``) whose circuit is blasted with
+    ``intensity_fps`` frames/s of ``frame_bytes`` junk, injected
+    straight at the server NIC.  The aggressor's server application
+    dutifully replenishes every delivered frame, so each *admitted*
+    frame costs real interrupts, DMA and CPU.
+
+    ``protected=True`` installs the tenant plane: mallory's token
+    bucket admits at most ``bytes_per_round`` per round and clips the
+    rest pre-DMA, so the victim's goodput must stay within 10% of its
+    solo run no matter the intensity.  ``protected=False`` is the
+    ablation — no quotas, every frame lands, and the victim bleeds.
+    """
+    from ..ash.tenancy import TenantManager
+    from ..sim.engine import Engine
+
+    engine = Engine(substrate=substrate) if substrate else Engine()
+    tb = make_an2_pair(cal, engine=engine, ncores=ncores)
+    sk, ck = tb.server_kernel, tb.client_kernel
+    manager = None
+    if protected:
+        manager = TenantManager(sk)
+        manager.create("alice", **_GENEROUS)
+        manager.create("mallory", rings=4, buffers=4,
+                       handler_cycles=100_000,
+                       bytes_per_round=4096, burst_bytes=4096)
+    cstack, sstack = make_stacks(tb, CLIENT_IP, SERVER_IP)
+    client_conn, server_conn = tcp_pair(cstack, sstack)
+    if protected:
+        manager.adopt_endpoint("alice", server_conn.endpoint)
+    mal_ep = sk.create_endpoint_an2(
+        tb.server_nic, AGGRESSOR_VCI,
+        tenant="mallory" if protected else None)
+
+    def mallory_app(proc):
+        while True:
+            desc = yield from sk.sys_recv_block(proc, mal_ep)
+            yield from proc.compute_us(2.0)
+            yield from sk.sys_replenish(proc, mal_ep, desc)
+
+    mal_ep.owner = sk.spawn_process("mallory-app", mallory_app)
+
+    if intensity_fps > 0:
+        plane = tb.attach_fault_plane(seed=3)
+        plane.flood_tenant(
+            tb.server_nic, AGGRESSOR_VCI, frame_bytes=frame_bytes,
+            count=max(1, int(intensity_fps * duration_s)),
+            start_us=50.0, gap_us=1e6 / intensity_fps)
+
+    total_bytes = total_kb * 1024
+    span = {}
+    rx_hash = hashlib.sha256()
+
+    def tcp_server(proc):
+        yield from server_conn.accept(proc)
+        remaining = total_bytes
+        while remaining:
+            data = yield from server_conn.read(proc, min(remaining, 8192))
+            if not data:
+                break
+            rx_hash.update(bytes(data))
+            remaining -= len(data)
+        yield from server_conn.write(proc, b"done")
+
+    def tcp_client(proc):
+        yield from client_conn.connect(proc)
+        payload = bytes(range(256)) * (total_bytes // 256)
+        span["start"] = proc.engine.now
+        sent = 0
+        while sent < total_bytes:
+            n = min(4096, total_bytes - sent)
+            yield from client_conn.write(proc, payload[sent:sent + n])
+            sent += n
+        yield from client_conn.read(proc, 4)
+        span["end"] = proc.engine.now
+
+    sk.spawn_process("tcp-server", tcp_server)
+    ck.spawn_process("tcp-client", tcp_client)
+    tb.run()
+    if "end" not in span:
+        raise RuntimeError("tenant_noisy_neighbor: victim transfer stalled")
+    elapsed_us = to_us(span["end"] - span["start"])
+    admitted = dropped = 0
+    if manager is not None:
+        mal = manager.stats()["tenants"]["mallory"]
+        admitted = mal["counters"].get("admitted", 0)
+        dropped = sum(mal["counters"].get("dropped", {}).values())
+    return {
+        "protected": protected,
+        "intensity_fps": intensity_fps,
+        "goodput_mbps": total_bytes / (elapsed_us / 1e6) / 1e6,
+        "elapsed_us": round(elapsed_us, 6),
+        "payload_sha": rx_hash.hexdigest(),
+        "cc_digest": client_conn.congestion_digest(),
+        "aggressor_admitted": admitted,
+        "aggressor_dropped": dropped,
+        "order_violations": (manager.order_violations
+                             if manager is not None else 0),
     }

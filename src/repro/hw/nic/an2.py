@@ -109,8 +109,15 @@ class An2Nic(Nic):
             self._drop_reason = "unbound_vci"
             return None
         if not binding.buffers:
-            self._drop_reason = "no_buffer"
-            return None
+            # defer before drop: a tenant at its held-buffer quota gets
+            # its oldest outstanding buffer revoked back into the ring
+            if self.admission is not None:
+                self.admission.on_ring_empty(self, frame.vci)
+            if not binding.buffers:
+                self._drop_reason = "no_buffer"
+                if self.admission is not None:
+                    self.admission.note_no_buffer(self, frame.vci)
+                return None
         if len(frame.data) > self.cal.an2_max_packet:
             self._drop_reason = "oversize"
             return None

@@ -186,6 +186,9 @@ class Nic:
         #: fault-injection seam: a FaultPlane installs a NicStress here
         #: (see repro.sim.faults); None = the device behaves
         self.stress = None
+        #: tenant-admission seam: a TenantManager installs itself here
+        #: (see repro.ash.tenancy); None = no per-tenant quotas
+        self.admission = None
         #: subclasses set this before returning None from _dma
         self._drop_reason = "no_buffer"
 
@@ -288,6 +291,15 @@ class Nic:
             if frame is None:  # injected ring exhaustion
                 self._count_drop("stress_exhaust")
                 return
+        admission = self.admission
+        if admission is not None:
+            # per-tenant quota check *before* DMA: a clipped frame
+            # consumes no buffer, no interrupt and no CPU, so one
+            # tenant's flood cannot perturb another tenant's schedule
+            reason = admission.check(self, frame)
+            if reason is not None:
+                self._count_drop(reason)
+                return
         self._drop_reason = "no_buffer"
         desc = self._dma(frame)
         tel = self.telemetry
@@ -296,6 +308,7 @@ class Nic:
             return
         self.rx_frames += 1
         if self.pktpool is not None \
+                and (admission is None or admission.pktbuf_ok(self, frame)) \
                 and not self.memory.pressure_gate("pktbuf"):
             # a refused wrapper allocation degrades to the legacy bytes
             # path (desc.buf stays None, which every consumer handles)

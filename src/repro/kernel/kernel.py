@@ -144,6 +144,9 @@ class Kernel(SyscallInterface):
         # the ASH runtime (imported here to keep layering one-way)
         from ..ash.system import AshSystem
         self.ash_system = AshSystem(self)
+        #: a TenantManager installs itself here (see repro.ash.tenancy);
+        #: None = single-tenant kernel, no per-tenant quotas
+        self.tenants = None
         for nic in node.nics.values():
             self.attach_nic(nic)
 
@@ -187,9 +190,14 @@ class Kernel(SyscallInterface):
         buf_size: int = 4096,
         owner: Optional[Process] = None,
         name: Optional[str] = None,
+        tenant=None,
     ) -> Endpoint:
         """Bind a VC: the application provides ``nbufs`` receive buffers
-        "for messages to be DMA'ed to"."""
+        "for messages to be DMA'ed to".  ``tenant`` charges the binding
+        against that tenant's ring quota (refused *before* any buffer
+        memory is allocated)."""
+        if tenant is not None and self.tenants is not None:
+            tenant = self.tenants.charge_endpoint(tenant, vci)
         name = name or f"{nic.name}.vc{vci}"
         region = self.node.memory.alloc(f"{name}.bufs", nbufs * buf_size)
         buffers = [
@@ -202,6 +210,8 @@ class Kernel(SyscallInterface):
         )
         self.endpoints.append(ep)
         self._by_vci[(nic.name, vci)] = ep
+        if tenant is not None and self.tenants is not None:
+            self.tenants.bind_endpoint(tenant, ep)
         return ep
 
     def create_endpoint_eth(
@@ -308,6 +318,10 @@ class Kernel(SyscallInterface):
         # the packet-filter engine is rebuilt from scratch at reboot
         self.dpf = DpfEngine(self.cal, telemetry=self.node.telemetry)
         self.ash_system.crash()
+        if self.tenants is not None:
+            # the tenant control plane is application-owned and
+            # survives; only its held-descriptor views are now stale
+            self.tenants.on_crash()
         tel = self.telemetry
         if tel.enabled:
             tel.counter("crash.crashes").inc()
@@ -520,6 +534,9 @@ class Kernel(SyscallInterface):
                 skips["ash"] = "unbound"
             elif not self._ash_admission(ep):
                 skips["ash"] = "livelock_throttle"
+            elif self.tenants is not None \
+                    and not self.tenants.ash_allowed(ep):
+                skips["ash"] = "tenant_cycle_throttle"
             else:
                 consumed = yield from self.ash_system.invoke(ep, desc)
                 if consumed:
@@ -590,6 +607,8 @@ class Kernel(SyscallInterface):
             if span is not None:
                 span.stage("ring_enqueue", self.engine.now)
             ep.ring.put(desc)
+            if self.tenants is not None:
+                self.tenants.note_ring_delivery(ep, desc)
             self._note_delivery("ring", skips)
             if ep.owner is not None:
                 # wake on the *owner's* core: its run queue is where the
@@ -726,6 +745,9 @@ class Kernel(SyscallInterface):
                 desc.buf.release()
             ep.kbufs.append(desc.addr)
         else:
+            if self.tenants is not None \
+                    and self.tenants.note_replenish(ep, desc):
+                return  # swallowed (revoked buffer, or an injected leak)
             self._recycle(desc)
         return
         yield  # pragma: no cover - marks this as a generator
@@ -788,6 +810,8 @@ class Kernel(SyscallInterface):
                 for ep in self.endpoints
             ],
             "ash": self.ash_system.stats(),
+            "tenants": (self.tenants.stats()
+                        if self.tenants is not None else None),
             "nics": {
                 nic.name: {
                     "rx_frames": nic.rx_frames,

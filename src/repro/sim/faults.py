@@ -75,6 +75,11 @@ __all__ = [
     "NodeCrash",
     "MemPressure",
     "CpuContention",
+    "TenantFlood",
+    "TenantLeak",
+    "TenantCycleHog",
+    "TenantAbortLoop",
+    "TenantScript",
 ]
 
 #: every fault kind the plane can record in its ledger
@@ -82,6 +87,8 @@ FAULT_KINDS = (
     "drop", "corrupt", "duplicate", "reorder", "delay",
     "nic_exhaust", "nic_truncate", "ash_abort",
     "node_crash", "node_reboot", "mem_pressure", "cpu_contention",
+    "tenant_flood", "tenant_leak", "tenant_hog", "tenant_abort",
+    "tenant_crashloop", "tenant_crash",
 )
 
 
@@ -483,6 +490,240 @@ class CpuContention(_Injector):
         return self._burst(self.budget_rate)
 
 
+class TenantFlood(_Injector):
+    """A quota-exhaustion flood against one tenant's virtual circuit.
+
+    An engine process blasts oversized frames straight at the NIC (as
+    if an external aggressor held the VC), at a fixed cadence.  With a
+    :class:`~repro.ash.tenancy.TenantManager` installed, every frame
+    larger than the tenant's ``burst_bytes`` is mathematically
+    inadmissible and is clipped *pre-DMA* — no buffer, no interrupt, no
+    CPU — which is exactly the containment property the multi-tenant
+    worlds pin.
+    """
+
+    def __init__(self, plane: "FaultPlane", nic: "Nic", vci: int,
+                 frame_bytes: int = 20_000, count: int = 50,
+                 start_us: float = 0.0, gap_us: float = 50.0):
+        super().__init__(plane,
+                         f"tenantflood:{nic.node.name}.{nic.name}:vc{vci}",
+                         0, None, None)
+        if count < 1:
+            raise SimError(f"TenantFlood count must be >= 1: {count}")
+        if gap_us < 0:
+            raise SimError(f"TenantFlood gap_us must be >= 0: {gap_us}")
+        self.nic = nic
+        self.vci = vci
+        self.frame_bytes = frame_bytes
+        self.count = count
+        self.at = us(start_us)
+        self.gap = us(gap_us)
+        self.injected = 0
+        plane.engine.spawn(self._script(), name=self.site)
+
+    def _script(self):
+        from ..hw.link import Frame
+
+        engine = self.plane.engine
+        delay = self.at - engine.now
+        if delay > 0:
+            yield engine.timeout(delay)
+        payload = bytes(self.frame_bytes)
+        for _ in range(self.count):
+            if not self.enabled:
+                return
+            self.nic._on_wire_frame(Frame(payload, vci=self.vci))
+            self.injected += 1
+            self.plane.record("tenant_flood", self.site)
+            if self.gap:
+                yield engine.timeout(self.gap)
+
+
+class TenantLeak(_Injector):
+    """A buffer-leak seam on one tenant's replenish path.
+
+    Installed as the tenant's ``leak_injector``: a firing replenish is
+    swallowed (the buffer silently stays on the tenant's held list),
+    modelling an application that loses track of its rx buffers.  The
+    manager's FIFO held-quota reclaim must keep the ring stocked — in
+    the *same* buffer address order a well-behaved tenant would have
+    produced — so the leak stays invisible to every other tenant.
+    """
+
+    def __init__(self, plane: "FaultPlane", manager, tenant: str,
+                 rate: float = 1.0, max_leaks: Optional[int] = None,
+                 skip_first: int = 0,
+                 start_us: Optional[float] = None,
+                 stop_us: Optional[float] = None):
+        node = manager.kernel.node.name
+        super().__init__(plane, f"tenantleak:{node}:{tenant}",
+                         skip_first, start_us, stop_us)
+        self.tenant = manager.get(tenant)
+        self.rate = rate
+        self.max_leaks = max_leaks
+        self.fired = 0
+        self.tenant.leak_injector = self
+
+    def on_replenish(self) -> bool:
+        """One replenish by the tenant; True = leak (swallow) it."""
+        if not self._gate():
+            return False
+        if self.max_leaks is not None and self.fired >= self.max_leaks:
+            return False
+        if self.rate < 1.0 and self.rng.random() >= self.rate:
+            return False
+        self.fired += 1
+        self.plane.record("tenant_leak", self.site)
+        return True
+
+
+class TenantCycleHog(_Injector):
+    """A cycle-hog seam on one tenant's handler accounting.
+
+    Installed as the tenant's ``hog_injector``: every charged handler
+    invocation is inflated by ``factor``, as if the tenant's handler
+    burned far more than it admitted to.  The per-round cycle quota
+    must then throttle *this* tenant's handler (messages degrade to its
+    normal path) without touching anyone else's.
+    """
+
+    def __init__(self, plane: "FaultPlane", manager, tenant: str,
+                 factor: int = 16, skip_first: int = 0,
+                 start_us: Optional[float] = None,
+                 stop_us: Optional[float] = None):
+        node = manager.kernel.node.name
+        super().__init__(plane, f"tenanthog:{node}:{tenant}",
+                         skip_first, start_us, stop_us)
+        if factor < 1:
+            raise SimError(f"TenantCycleHog factor must be >= 1: {factor}")
+        self.tenant = manager.get(tenant)
+        self.factor = factor
+        self.tenant.hog_injector = self
+
+    def inflate(self, cycles: int) -> int:
+        """Accounting-side inflation of one invocation's cycle charge."""
+        if not self._gate():
+            return cycles
+        self.plane.record("tenant_hog", self.site)
+        return cycles * self.factor
+
+
+class TenantAbortLoop(_Injector):
+    """A crash-looping handler: tenant-scoped forced involuntary aborts.
+
+    Installed as the tenant's ``abort_injector`` — the per-tenant
+    sibling of :class:`AshAbortInjector`.  Each firing invocation runs
+    under a forced (tiny) cycle budget and aborts mid-handler; after
+    :data:`repro.ash.tenancy.ABORT_BREAKER_LIMIT` consecutive aborts
+    the manager cuts the tenant's ASH binding (the crash-loop breaker),
+    and its traffic continues on the normal path.
+    """
+
+    def __init__(self, plane: "FaultPlane", manager, tenant: str,
+                 every: int = 1, max_aborts: Optional[int] = None,
+                 abort_budget: Optional[int] = None,
+                 skip_first: int = 0,
+                 start_us: Optional[float] = None,
+                 stop_us: Optional[float] = None):
+        node = manager.kernel.node.name
+        super().__init__(plane, f"tenantabort:{node}:{tenant}",
+                         skip_first, start_us, stop_us)
+        from ..sandbox.budget import forced_abort_budget
+
+        if every < 1:
+            raise SimError(f"TenantAbortLoop every must be >= 1: {every}")
+        self.tenant = manager.get(tenant)
+        self.every = every
+        self.max_aborts = max_aborts
+        self.budget = (abort_budget if abort_budget is not None
+                       else forced_abort_budget(manager.cal))
+        self.fired = 0
+        self.tenant.abort_injector = self
+
+    def consider(self) -> Optional[int]:
+        """Called once per invocation on the tenant's endpoints; returns
+        the forced budget when this invocation must abort, else None."""
+        if not self._gate():
+            return None
+        if self.max_aborts is not None and self.fired >= self.max_aborts:
+            return None
+        if self.seen % self.every != 0:
+            return None
+        self.fired += 1
+        self.plane.record("tenant_abort", self.site)
+        return self.budget
+
+
+class TenantScript(_Injector):
+    """One scripted tenant-lifecycle abuse at a fixed instant.
+
+    ``action``:
+
+    * ``"crash"`` — the tenant's application dies
+      (:meth:`~repro.ash.tenancy.TenantManager.crash_tenant`): its ASHs
+      and their boot records are removed, its frames drop pre-DMA;
+    * ``"install_hog"`` — ``attempts`` downloads of ``program`` (a
+      loop-free handler whose static bound exceeds the tenant's cycle
+      quota), each refused at the tenant admission layer;
+    * ``"install_crashloop"`` — ``attempts`` downloads of ``program``
+      (an unverifiable handler); the tenant is quarantined after
+      :data:`repro.ash.tenancy.CRASHLOOP_LIMIT` consecutive failures.
+
+    All three are host-level control-plane actions: they consume no
+    simulated time, which is what makes the containment bar (victim
+    observables bit-identical to the unperturbed run) provable.
+    """
+
+    def __init__(self, plane: "FaultPlane", manager, tenant: str,
+                 at_us: float, action: str = "crash",
+                 program=None, allowed_regions=None, policy=None,
+                 attempts: int = 1):
+        node = manager.kernel.node.name
+        super().__init__(plane, f"tenant:{node}:{tenant}:{action}",
+                         0, None, None)
+        if action not in ("crash", "install_hog", "install_crashloop"):
+            raise SimError(f"unknown TenantScript action {action!r}")
+        if action != "crash" and program is None:
+            raise SimError(f"TenantScript {action} needs a program")
+        if attempts < 1:
+            raise SimError(f"TenantScript attempts must be >= 1: {attempts}")
+        self.manager = manager
+        self.tenant = tenant
+        self.at = us(at_us)
+        self.action = action
+        self.program = program
+        self.allowed_regions = allowed_regions
+        self.policy = policy
+        self.attempts = attempts
+        self.refusals = 0
+        plane.engine.spawn(self._script(), name=self.site)
+
+    def _script(self):
+        engine = self.plane.engine
+        delay = self.at - engine.now
+        if delay > 0:
+            yield engine.timeout(delay)
+        if not self.enabled:
+            return
+        if self.action == "crash":
+            self.manager.crash_tenant(self.tenant)
+            self.plane.record("tenant_crash", self.site)
+            return
+        from ..ash.tenancy import TenantQuotaError
+        from ..errors import SandboxViolation
+
+        kind = ("tenant_hog" if self.action == "install_hog"
+                else "tenant_crashloop")
+        for _ in range(self.attempts):
+            try:
+                self.manager.download(
+                    self.tenant, self.program, self.allowed_regions,
+                    policy=self.policy)
+            except (TenantQuotaError, SandboxViolation):
+                self.refusals += 1
+            self.plane.record(kind, self.site)
+
+
 class FaultPlane:
     """Seeded, scenario-scriptable fault injection for one engine."""
 
@@ -549,10 +790,46 @@ class FaultPlane:
         self.injectors.append(contention)
         return contention
 
+    def flood_tenant(self, nic: "Nic", vci: int, **knobs) -> TenantFlood:
+        """Blast oversized frames at one tenant's VC (see TenantFlood)."""
+        flood = TenantFlood(self, nic, vci, **knobs)
+        self.injectors.append(flood)
+        return flood
+
+    def leak_tenant(self, manager, tenant: str, **knobs) -> TenantLeak:
+        """Leak one tenant's rx-buffer replenishes (see TenantLeak)."""
+        leak = TenantLeak(self, manager, tenant, **knobs)
+        self.injectors.append(leak)
+        return leak
+
+    def hog_tenant(self, manager, tenant: str, **knobs) -> TenantCycleHog:
+        """Inflate one tenant's handler cycle accounting (see
+        TenantCycleHog)."""
+        hog = TenantCycleHog(self, manager, tenant, **knobs)
+        self.injectors.append(hog)
+        return hog
+
+    def abortloop_tenant(self, manager, tenant: str,
+                         **knobs) -> TenantAbortLoop:
+        """Crash-loop one tenant's handler with forced involuntary
+        aborts (see TenantAbortLoop)."""
+        loop = TenantAbortLoop(self, manager, tenant, **knobs)
+        self.injectors.append(loop)
+        return loop
+
+    def script_tenant(self, manager, tenant: str, at_us: float,
+                      **knobs) -> TenantScript:
+        """Scripted tenant crash or install abuse (see TenantScript)."""
+        script = TenantScript(self, manager, tenant, at_us, **knobs)
+        self.injectors.append(script)
+        return script
+
     def apply_scenario(self, scenario: list[dict]) -> list[_Injector]:
         """Install a declarative scenario: a list of specs, each with a
-        ``site`` ("link" / "nic" / "ash" / "crash" / "mem" / "cpu"), a
-        ``target`` object, and the matching injector's keyword knobs."""
+        ``site`` ("link" / "nic" / "ash" / "crash" / "mem" / "cpu" /
+        "tenant_flood" / "tenant_leak" / "tenant_hog" / "tenant_abort" /
+        "tenant_script"), a ``target`` object, and the matching
+        injector's keyword knobs."""
         installed = []
         for spec in scenario:
             spec = dict(spec)
@@ -570,6 +847,16 @@ class FaultPlane:
                 installed.append(self.pressure_memory(target, **spec))
             elif site == "cpu":
                 installed.append(self.contend_cpu(target, **spec))
+            elif site == "tenant_flood":
+                installed.append(self.flood_tenant(target, **spec))
+            elif site == "tenant_leak":
+                installed.append(self.leak_tenant(target, **spec))
+            elif site == "tenant_hog":
+                installed.append(self.hog_tenant(target, **spec))
+            elif site == "tenant_abort":
+                installed.append(self.abortloop_tenant(target, **spec))
+            elif site == "tenant_script":
+                installed.append(self.script_tenant(target, **spec))
             else:
                 raise SimError(f"unknown fault site {site!r}")
         return installed

@@ -705,3 +705,82 @@ class TestRebootStormKnobs:
         gaps = [b["crashed_at"] - a["crashed_at"]
                 for a, b in zip(storm.storms, storm.storms[1:])]
         assert gaps == [storm.period, storm.period]
+
+
+class TestMultiTenantCrashReplay:
+    """Boot-record replay after Kernel.crash() must restore only the
+    *surviving* tenants' handlers — a tenant killed before the crash
+    stays gone — in deterministic (sorted ash-id) order, including a
+    tenant caught mid-canary by a RolloutController."""
+
+    def _world(self):
+        from repro.ash.tenancy import TenantManager
+        from repro.bench.workloads import _build_sink
+
+        tb = make_an2_pair()
+        sk = tb.server_kernel
+        mgr = TenantManager(sk)
+        for name in ("alice", "bob", "carol"):
+            mgr.create(name)
+        eps = {
+            "alice": sk.create_endpoint_an2(tb.server_nic, 10,
+                                            tenant="alice"),
+            "bob": sk.create_endpoint_an2(tb.server_nic, 11, tenant="bob"),
+            "carol": sk.create_endpoint_an2(tb.server_nic, 12,
+                                            tenant="carol"),
+        }
+        ids = {
+            "alice_v1": mgr.download("alice", _build_sink(name="a1"),
+                                     allowed_regions=[]),
+            "bob_v1": mgr.download("bob", _build_sink(name="b1"),
+                                   allowed_regions=[]),
+            "carol_v1": mgr.download("carol", _build_sink(name="c1"),
+                                     allowed_regions=[]),
+        }
+        ids["alice_v2"] = mgr.install_version(
+            "alice", ids["alice_v1"], _build_sink(name="a2"))
+        sk.ash_system.bind(eps["alice"], ids["alice_v1"])
+        sk.ash_system.bind(eps["bob"], ids["bob_v1"])
+        sk.ash_system.bind(eps["carol"], ids["carol_v1"])
+        return tb, sk, mgr, eps, ids
+
+    def test_killed_tenant_excluded_from_replay(self):
+        tb, sk, mgr, eps, ids = self._world()
+        mgr.crash_tenant("bob")
+        sk.crash()
+        sk.reboot()
+        entries = set(sk.ash_system._entries)
+        assert ids["bob_v1"] not in entries
+        assert {ids["alice_v1"], ids["alice_v2"],
+                ids["carol_v1"]} <= entries
+        assert eps["bob"].ash_id is None
+        assert eps["alice"].ash_id == ids["alice_v1"]
+        assert eps["carol"].ash_id == ids["carol_v1"]
+        # deterministic replay: boot records walked in sorted-id order
+        assert list(sk.ash_system._entries) == sorted(entries)
+        assert sk.crash_log[-1]["ash_reinstalls"] == 3
+
+    def test_mid_canary_tenant_survives_replay(self):
+        from repro.ash.liveops import RolloutController
+
+        tb, sk, mgr, eps, ids = self._world()
+        ctrl = RolloutController(
+            sk, [(eps["alice"], ids["alice_v1"], ids["alice_v2"])],
+            canary_fraction=1.0, name="tenant-canary")
+        ctrl.note_round(eps["alice"].name, "golden", 10.0)
+        ctrl.start_canary()
+        assert eps["alice"].ash_id == ids["alice_v2"]
+        mgr.crash_tenant("carol")
+        sk.crash()
+        sk.reboot()
+        # alice comes back exactly mid-canary: both versions replayed,
+        # the endpoint still bound to v2; the dead tenant stays dead
+        assert eps["alice"].ash_id == ids["alice_v2"]
+        assert ids["alice_v1"] in sk.ash_system._entries
+        assert ids["carol_v1"] not in sk.ash_system._entries
+        assert eps["carol"].ash_id is None
+        assert eps["bob"].ash_id == ids["bob_v1"]
+        # the manager itself is application-owned: tenant identity,
+        # quotas and the quarantine/kill ledger survive the reboot
+        assert mgr.get("carol").dead
+        assert not mgr.get("alice").dead

@@ -1,11 +1,13 @@
 """Tier-1 gate: the unified chaos-sweep driver's smoke corner.
 
-``benchmarks/sweep_driver.py --smoke`` runs a 2×2×2 corner of the full
-workload × fault-scenario × substrate grid (tcp_bulk and canary, clean
-and crashed, fast and legacy) and must produce a schema-clean document
-whose every summary gate holds: bit-identity across substrates, zero
-order violations, correct rollout verdicts, every crash recovered
-within its pinned recovery-latency bound, zero canary losses.
+``benchmarks/sweep_driver.py --smoke`` runs a small corner of the full
+workload × fault-scenario × substrate grid (tcp_bulk, canary and the
+two-tenant noisy-neighbor cell; clean and crashed; fast and legacy)
+and must produce a schema-clean document whose every summary gate
+holds: bit-identity across substrates, zero order violations, correct
+rollout verdicts, every crash recovered within its pinned
+recovery-latency bound, zero canary losses, and the protected victim
+inside its pinned isolation bound.
 """
 
 import importlib.util
@@ -40,16 +42,22 @@ def test_smoke_grid_green(tmp_path):
     assert summary["all_crashes_recovered"]
     assert summary["all_recoveries_within_bounds"]
     assert summary["zero_canary_losses"]
-    # the smoke corner still exercises both workloads, both substrates,
-    # and at least one crash scenario per workload
+    assert summary["all_isolation_within_bounds"]
+    # the smoke corner still exercises every workload, both substrates,
+    # and at least one crash scenario per crashable workload
     workloads = {cell["workload"] for cell in doc["grid"]}
     scenarios = {cell["scenario"] for cell in doc["grid"]}
-    assert workloads == {"tcp_bulk", "canary"}
+    assert workloads == {"tcp_bulk", "canary", "tenant"}
     assert any("crash" in s for s in scenarios)
     crash_cells = [c for c in doc["grid"] if c.get("recovered")]
     assert crash_cells
     for cell in crash_cells:
         assert cell["recovery_within_bound"], cell["scenario"]
+    tenant_cells = [c for c in doc["grid"] if c["workload"] == "tenant"]
+    assert tenant_cells
+    for cell in tenant_cells:
+        assert cell["isolation_within_bound"], cell["scenario"]
+        assert cell["observables"]["victim_intact"]
 
 
 def test_committed_full_grid_baseline_schema_clean():
@@ -69,3 +77,8 @@ def test_committed_full_grid_baseline_schema_clean():
         key = scenario.replace("/", "_") + "_recovery_us"
         assert key in lat
         assert lat[key] <= bound, (scenario, lat[key], bound)
+    iso = doc["summary"]["isolation_ratios"]
+    for scenario, bound in driver.ISOLATION_BOUND_RATIO.items():
+        key = scenario.replace("/", "_") + "_isolation_ratio"
+        assert key in iso
+        assert iso[key] >= bound, (scenario, iso[key], bound)
